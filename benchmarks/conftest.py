@@ -1,0 +1,33 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables or figures end to end
+(data generation, model training, evaluation), so each is run exactly once
+(``rounds=1``) — the interesting output is the reproduced table, printed to
+stdout, not the timing distribution.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentResult
+
+
+def run_once(benchmark, fn, *args, **kwargs) -> ExperimentResult:
+    """Run an experiment exactly once under pytest-benchmark and print its table."""
+    result = benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1, warmup_rounds=0)
+    print()
+    print(result.format_table())
+    if result.paper_reference:
+        print(f"  {result.paper_reference}")
+    return result
+
+
+@pytest.fixture
+def experiment_runner(benchmark):
+    def runner(fn, *args, **kwargs):
+        return run_once(benchmark, fn, *args, **kwargs)
+
+    return runner

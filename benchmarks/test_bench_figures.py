@@ -1,0 +1,67 @@
+"""Benchmarks regenerating the paper's figures (Figures 1, 4, 5, 6, 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig1, run_fig4, run_fig5, run_fig6, run_fig7
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_fig1_access_rate_cdf(experiment_runner):
+    result = experiment_runner(run_fig1)
+    for dataset in ("mobiletab", "timeshift", "mpu"):
+        series = [row for row in result.rows if row["dataset"] == dataset]
+        fractions = [row["fraction_of_users"] for row in series]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+    # Figure 1's key contrast: a large mass of MobileTab/Timeshift users never
+    # access, while almost every MPU user does.
+    zero_mobiletab = result.rows[0]["fraction_of_users"]
+    zero_mpu = [row for row in result.rows if row["dataset"] == "mpu"][0]["fraction_of_users"]
+    assert zero_mobiletab > zero_mpu
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_fig4_training_curve(experiment_runner):
+    result = experiment_runner(run_fig4)
+    losses = [row["log_loss"] for row in result.rows]
+    sessions = [row["sessions_processed"] for row in result.rows]
+    assert sessions == sorted(sessions)
+    # Figure 4's shape: the loss drops substantially from its initial level.
+    early = np.mean(losses[: max(1, len(losses) // 8)])
+    late = np.mean(losses[-max(1, len(losses) // 8):])
+    assert late < early
+    assert result.metadata["epochs"] == 8
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_fig5_session_count_distribution(experiment_runner):
+    result = experiment_runner(run_fig5)
+    counts = [row["users"] for row in result.rows]
+    assert sum(counts) == result.metadata.get("n_users", sum(counts)) or sum(counts) > 0
+    # Long tail: the top bin is far beyond the median user's bin.
+    populated = [i for i, c in enumerate(counts) if c > 0]
+    assert populated[-1] > 2 * (len(populated) // 2 + 1)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_fig6_precision_recall_curves(experiment_runner):
+    result = experiment_runner(run_fig6)
+    models = {row["model"] for row in result.rows}
+    assert models == {"percentage", "lr", "gbdt", "rnn"}
+    for model in models:
+        series = [row for row in result.rows if row["model"] == model]
+        assert all(0 <= row["precision"] <= 1 and 0 <= row["recall"] <= 1 for row in series)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_bench_fig7_online_cold_start(experiment_runner):
+    result = experiment_runner(run_fig7)
+    rnn_series = [row["pr_auc"] for row in result.rows if row["model"] == "rnn" and row["pr_auc"] is not None]
+    gbdt_series = [row["pr_auc"] for row in result.rows if row["model"] == "gbdt" and row["pr_auc"] is not None]
+    assert len(rnn_series) > 10 and len(gbdt_series) > 10
+    # Figure 7's shape: after the cold-start period the RNN's PR-AUC is
+    # competitive with (the paper: above) the GBDT's.
+    assert np.mean(rnn_series[-7:]) > 0.5 * np.mean(gbdt_series[-7:])

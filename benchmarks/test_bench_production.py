@@ -1,0 +1,45 @@
+"""Benchmarks regenerating the Section 9 / Section 7.1 production findings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_online_prefetch, run_serving_cost, run_training_throughput
+
+
+@pytest.mark.benchmark(group="production")
+def test_bench_online_prefetch_uplift(experiment_runner):
+    result = experiment_runner(run_online_prefetch)
+    rnn = result.row_for(model="rnn")
+    gbdt = result.row_for(model="gbdt")
+    # Both arms actually precompute something, and the precision constraint binds.
+    assert rnn["precomputes"] > 0 and gbdt["precomputes"] > 0
+    assert rnn["successful_prefetches"] > 0
+    uplift = result.metadata["uplift"]
+    # Paper: +7.81% over a 90-day production experiment.  At a few thousand
+    # synthetic live sessions the uplift is dominated by threshold-transfer
+    # noise, so only sanity-check it here; EXPERIMENTS.md discusses the gap.
+    assert np.isfinite(uplift)
+    assert rnn["precision"] > 0.3 and gbdt["precision"] > 0.3
+
+
+@pytest.mark.benchmark(group="production")
+def test_bench_serving_cost_reduction(experiment_runner):
+    result = experiment_runner(run_serving_cost)
+    ratios = result.row_for(model="ratios")
+    # Paper Section 9: ~20x fewer lookups, ~9.5x more model compute, ~10x lower
+    # total serving cost for the RNN path.
+    assert ratios["kv_lookups"] >= 10
+    assert ratios["model_flops"] > 1.0
+    assert ratios["total_cost"] > 5.0
+    # Replay through the serving services must show the same lookup asymmetry.
+    assert result.metadata["gbdt_kv_gets"] >= result.metadata["rnn_kv_gets"]
+
+
+@pytest.mark.benchmark(group="production")
+def test_bench_training_throughput_strategies(experiment_runner):
+    result = experiment_runner(run_training_throughput)
+    strategies = {row["strategy"]: row["sessions_per_second"] for row in result.rows}
+    assert set(strategies) == {"padded", "per_user"}
+    assert all(value > 0 for value in strategies.values())

@@ -1,0 +1,55 @@
+"""Notification-driven app preloading (the Mobile Phone Use scenario, Section 4.3).
+
+When a notification arrives, the OS could preload the associated application
+in the background if the user is likely to open it.  This example trains the
+GBDT (with the full Section 5.2 feature engineering) and the RNN (with none)
+on synthetic notification traces and compares them, including the Table 5
+style feature ablation for the GBDT.
+
+    python examples/notification_preload.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.data import make_dataset, user_split
+from repro.features import ablation_config
+from repro.metrics import pr_auc, recall_at_precision
+from repro.models import GBDTModel, RNNModel, RNNModelConfig, TaskSpec
+
+
+def main() -> None:
+    task = TaskSpec(kind="session")
+    dataset = make_dataset("mpu", n_users=80, seed=2)
+    split = user_split(dataset, test_fraction=0.15, seed=0)
+    print(
+        f"dataset: {dataset.n_users} users, {dataset.n_sessions} notifications, "
+        f"open rate {dataset.positive_rate:.1%}"
+    )
+
+    print(f"\n{'model / feature set':<28} {'PR-AUC':>8} {'recall@50%':>12}")
+    for feature_set in ("C", "E+C", "A+E+C"):
+        config = replace(ablation_config(feature_set), one_hot_time=False, one_hot_elapsed=False)
+        model = GBDTModel(feature_config=config, depths=(3, 4))
+        model.fit(split.train, task)
+        result = model.evaluate(split.test, task)
+        print(
+            f"{'gbdt [' + feature_set + ']':<28} {pr_auc(result.y_true, result.y_score):>8.3f} "
+            f"{recall_at_precision(result.y_true, result.y_score, 0.5):>12.3f}"
+        )
+
+    rnn = RNNModel(RNNModelConfig(truncate_sessions=400, seed=0))
+    rnn.fit(split.train, task)
+    result = rnn.evaluate(split.test, task)
+    print(
+        f"{'rnn [no feature engineering]':<28} {pr_auc(result.y_true, result.y_score):>8.3f} "
+        f"{recall_at_precision(result.y_true, result.y_score, 0.5):>12.3f}"
+    )
+    print("\nThe GBDT needs the aggregation (A) and elapsed-time (E) features to be")
+    print("competitive; the RNN consumes only raw per-notification context and its")
+    print("own hidden state (Section 6's point), at the cost of needing more data.")
+
+
+if __name__ == "__main__":
+    main()

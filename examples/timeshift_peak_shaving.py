@@ -1,0 +1,50 @@
+"""Timeshifted precompute: move data-query compute from peak to off-peak hours.
+
+Implements Section 3.2.1's scenario: several hours before the daily peak
+window, predict which users will need a data query result during the peak and
+precompute those results off-peak.  The example compares the percentage
+baseline with the RNN and reports how much peak compute each policy moves
+off-peak and at what waste.
+
+    python examples/timeshift_peak_shaving.py
+"""
+
+from __future__ import annotations
+
+from repro.core import PrecisionTargetPolicy, plan_timeshift
+from repro.data import make_dataset, user_split
+from repro.models import PercentageModel, RNNModel, RNNModelConfig, TaskSpec
+
+
+def main() -> None:
+    task = TaskSpec(kind="peak")
+    dataset = make_dataset("timeshift", n_users=250, seed=1)
+    split = user_split(dataset, test_fraction=0.2, seed=0)
+    print(
+        f"dataset: {dataset.n_users} users, peak window "
+        f"{dataset.peak_hours[0]:02d}:00-{dataset.peak_hours[1]:02d}:00, "
+        f"{dataset.n_sessions} sessions"
+    )
+
+    models = {
+        "percentage": PercentageModel(),
+        "rnn": RNNModel(RNNModelConfig(seed=0)),
+    }
+    print(f"\n{'model':<12} {'peak moved off-peak':>20} {'waste rate':>12} {'overhead':>10}")
+    for name, model in models.items():
+        model.fit(split.train, task)
+        # Calibrate a 50%-precision threshold on the training population, then
+        # plan the timeshift for the held-out users.
+        calibration = model.evaluate(split.train, task)
+        policy = PrecisionTargetPolicy(0.5).fit(calibration.y_true, calibration.y_score)
+        plan = plan_timeshift(model.evaluate(split.test, task), policy)
+        print(
+            f"{name:<12} {plan.peak_reduction:>20.1%} {plan.outcome.waste_rate:>12.1%} "
+            f"{plan.overhead_ratio:>10.2f}"
+        )
+    print("\npeak reduction equals recall: every successfully precomputed peak access")
+    print("is one query execution moved into the off-peak valley of the compute curve.")
+
+
+if __name__ == "__main__":
+    main()

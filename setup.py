@@ -1,0 +1,14 @@
+"""Setuptools shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 517 editable installs (which build a wheel) fail.  This ``setup.py``
+enables the legacy editable-install path::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""repro — reproduction of "Predictive Precompute with Recurrent Neural Networks" (MLSys 2020).
+
+The package is organised bottom-up:
+
+* :mod:`repro.nn` — NumPy autograd, layers, recurrent cells, optimizers
+  (the PyTorch substitute).
+* :mod:`repro.ml` — logistic regression and gradient-boosted trees
+  (the scikit-learn / XGBoost substitutes).
+* :mod:`repro.features` — the feature engineering of Section 5.2 and the
+  per-session feature vectors for the RNN.
+* :mod:`repro.data` — access-log schema and the synthetic MobileTab /
+  Timeshift / MPU trace generators.
+* :mod:`repro.models` — the four access-probability models behind a common
+  interface (percentage baseline, LR, GBDT, RNN).
+* :mod:`repro.core` — precompute trigger policies and outcome accounting.
+* :mod:`repro.serving` — key-value store, stream processing, hidden-state
+  vs aggregation-feature serving, cost model, online experiment.
+* :mod:`repro.metrics` — PR curves, PR-AUC, recall at precision, log loss.
+* :mod:`repro.experiments` — one registered experiment per table/figure of
+  the paper's evaluation.
+
+Quickstart::
+
+    from repro.data import make_dataset, user_split
+    from repro.models import RNNModel, TaskSpec
+    from repro.metrics import pr_auc
+
+    dataset = make_dataset("mobiletab", n_users=200, seed=0)
+    split = user_split(dataset, test_fraction=0.1)
+    model = RNNModel().fit(split.train, TaskSpec(kind="session"))
+    result = model.evaluate(split.test, TaskSpec(kind="session"))
+    print(pr_auc(result.y_true, result.y_score))
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["__version__"]

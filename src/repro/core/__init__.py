@@ -1,0 +1,16 @@
+"""Predictive-precompute decision layer: policies, outcome accounting, timeshift planning."""
+
+from .decider import PrecomputeOutcome, simulate_precompute
+from .policy import BudgetPolicy, FixedThresholdPolicy, PrecisionTargetPolicy, ThresholdPolicy
+from .timeshift import TimeshiftPlan, plan_timeshift
+
+__all__ = [
+    "PrecomputeOutcome",
+    "simulate_precompute",
+    "BudgetPolicy",
+    "FixedThresholdPolicy",
+    "PrecisionTargetPolicy",
+    "ThresholdPolicy",
+    "TimeshiftPlan",
+    "plan_timeshift",
+]

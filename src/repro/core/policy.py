@@ -1,0 +1,113 @@
+"""Precompute trigger policies.
+
+Predictive precompute (Section 3) turns a probability estimate into a binary
+decision: precompute now, or don't.  The paper uses a fixed probability
+threshold chosen so that precision (the fraction of precomputations that are
+followed by an access) stays above a target — 50% for the offline comparison
+of Table 4, 60% for the production deployment of Section 9.  A budget-based
+policy is also provided for deployments that are constrained by precompute
+volume rather than precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics import threshold_for_precision
+
+__all__ = ["ThresholdPolicy", "FixedThresholdPolicy", "PrecisionTargetPolicy", "BudgetPolicy"]
+
+
+class ThresholdPolicy:
+    """Interface: map access probabilities to precompute decisions."""
+
+    def decide(self, probabilities) -> np.ndarray:
+        """Boolean precompute decision for each probability."""
+        raise NotImplementedError
+
+    @property
+    def threshold(self) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FixedThresholdPolicy(ThresholdPolicy):
+    """Trigger precompute whenever the probability is at least ``value``."""
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.value <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+
+    def decide(self, probabilities) -> np.ndarray:
+        return np.asarray(probabilities, dtype=np.float64) >= self.value
+
+    @property
+    def threshold(self) -> float:
+        return self.value
+
+
+class PrecisionTargetPolicy(ThresholdPolicy):
+    """Calibrate a threshold so that precision meets a target on held-out data.
+
+    ``fit`` finds the smallest threshold whose operating point has precision
+    at least ``precision_target`` (maximising recall subject to the
+    constraint), exactly how the production threshold of Section 9 is chosen.
+    """
+
+    def __init__(self, precision_target: float) -> None:
+        if not 0.0 < precision_target <= 1.0:
+            raise ValueError("precision_target must be in (0, 1]")
+        self.precision_target = precision_target
+        self._threshold: float | None = None
+
+    def fit(self, y_true, y_score) -> "PrecisionTargetPolicy":
+        self._threshold = threshold_for_precision(y_true, y_score, self.precision_target)
+        return self
+
+    def decide(self, probabilities) -> np.ndarray:
+        if self._threshold is None:
+            raise RuntimeError("policy must be fit on calibration data first")
+        return np.asarray(probabilities, dtype=np.float64) >= self._threshold
+
+    @property
+    def threshold(self) -> float:
+        if self._threshold is None:
+            raise RuntimeError("policy must be fit on calibration data first")
+        return self._threshold
+
+
+class BudgetPolicy(ThresholdPolicy):
+    """Precompute for at most a fraction ``budget`` of sessions.
+
+    Useful when the binding constraint is precompute volume (network/battery
+    on clients, compute on servers) rather than precision.  The threshold is
+    the ``1 - budget`` quantile of calibration scores.
+    """
+
+    def __init__(self, budget: float) -> None:
+        if not 0.0 < budget <= 1.0:
+            raise ValueError("budget must be in (0, 1]")
+        self.budget = budget
+        self._threshold: float | None = None
+
+    def fit(self, y_score) -> "BudgetPolicy":
+        scores = np.asarray(y_score, dtype=np.float64)
+        if scores.size == 0:
+            raise ValueError("cannot calibrate a budget policy without scores")
+        self._threshold = float(np.quantile(scores, 1.0 - self.budget))
+        return self
+
+    def decide(self, probabilities) -> np.ndarray:
+        if self._threshold is None:
+            raise RuntimeError("policy must be fit on calibration data first")
+        return np.asarray(probabilities, dtype=np.float64) >= self._threshold
+
+    @property
+    def threshold(self) -> float:
+        if self._threshold is None:
+            raise RuntimeError("policy must be fit on calibration data first")
+        return self._threshold

@@ -1,0 +1,80 @@
+"""Timeshifted precompute planning (Section 3.2.1).
+
+The point of predicting peak-window accesses hours in advance is capacity:
+work moved from peak to off-peak hours reduces the peak of the daily compute
+curve, which is what capacity is provisioned for.  :func:`plan_timeshift`
+applies a trigger policy to per-user-per-day peak predictions and accounts
+for how much peak-hour compute was avoided, how much off-peak compute was
+spent (including the wasted share), and the resulting peak reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.base import PredictionResult
+from .decider import PrecomputeOutcome, simulate_precompute
+from .policy import ThresholdPolicy
+
+__all__ = ["TimeshiftPlan", "plan_timeshift"]
+
+
+@dataclass(frozen=True)
+class TimeshiftPlan:
+    """Capacity accounting for a timeshifted precompute policy.
+
+    All quantities are expressed in "query computations" (one unit per data
+    query execution).  Without timeshifting, every peak-window access costs
+    one unit of *peak* compute; with it, precomputed accesses cost one unit of
+    *off-peak* compute instead, and wasted precomputations add off-peak cost
+    with no benefit.
+    """
+
+    outcome: PrecomputeOutcome
+    peak_compute_without: int
+    peak_compute_with: int
+    offpeak_compute: int
+
+    @property
+    def peak_reduction(self) -> float:
+        """Fraction of peak-hour compute moved off-peak (equals recall)."""
+        if self.peak_compute_without == 0:
+            return 0.0
+        return 1.0 - self.peak_compute_with / self.peak_compute_without
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Total compute with timeshifting relative to the baseline."""
+        if self.peak_compute_without == 0:
+            return 0.0
+        return (self.peak_compute_with + self.offpeak_compute) / self.peak_compute_without
+
+    def as_row(self) -> dict[str, float]:
+        row = self.outcome.as_row()
+        row.update(
+            {
+                "peak_compute_without": self.peak_compute_without,
+                "peak_compute_with": self.peak_compute_with,
+                "offpeak_compute": self.offpeak_compute,
+                "peak_reduction": round(self.peak_reduction, 4),
+                "overhead_ratio": round(self.overhead_ratio, 4),
+            }
+        )
+        return row
+
+
+def plan_timeshift(result: PredictionResult, policy: ThresholdPolicy) -> TimeshiftPlan:
+    """Apply a trigger policy to peak-window predictions and account for capacity."""
+    outcome = simulate_precompute(result, policy)
+    peak_without = outcome.n_accesses
+    # Accesses that were precomputed are served from cache during peak hours.
+    peak_with = outcome.missed_accesses
+    offpeak = outcome.n_precomputes
+    return TimeshiftPlan(
+        outcome=outcome,
+        peak_compute_without=peak_without,
+        peak_compute_with=peak_with,
+        offpeak_compute=offpeak,
+    )

@@ -1,0 +1,60 @@
+"""Convenience registry mapping dataset names to their generators.
+
+Experiments, benchmarks and examples all obtain data through
+:func:`make_dataset` so that the choice of scale (number of users, days,
+seed) lives in a single place and every dataset can be requested uniformly
+by name: ``"mobiletab"``, ``"timeshift"`` or ``"mpu"``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .mobiletab import MobileTabConfig, MobileTabGenerator
+from .mpu import MPUConfig, MPUGenerator
+from .schema import Dataset
+from .timeshift import TimeshiftConfig, TimeshiftGenerator
+
+__all__ = ["DATASET_NAMES", "make_dataset", "default_scale"]
+
+DATASET_NAMES = ("mobiletab", "timeshift", "mpu")
+
+#: Small scales used by the test suite and quick examples; the benchmark
+#: harness overrides these with larger values.
+_SMALL_SCALE = {
+    "mobiletab": {"n_users": 120, "n_days": 30},
+    "timeshift": {"n_users": 120, "n_days": 30},
+    "mpu": {"n_users": 24, "n_days": 28},
+}
+
+_MEDIUM_SCALE = {
+    "mobiletab": {"n_users": 600, "n_days": 30},
+    "timeshift": {"n_users": 600, "n_days": 30},
+    "mpu": {"n_users": 80, "n_days": 28},
+}
+
+
+def default_scale(name: str, profile: str = "small") -> dict:
+    """Return the default generator overrides for a scale profile."""
+    table = _SMALL_SCALE if profile == "small" else _MEDIUM_SCALE
+    if name not in table:
+        raise KeyError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+    return dict(table[name])
+
+
+def make_dataset(name: str, *, seed: int = 0, **overrides) -> Dataset:
+    """Construct a synthetic dataset by name.
+
+    Any generator configuration field (``n_users``, ``n_days``, ...) can be
+    overridden via keyword arguments; unspecified fields use the generator's
+    defaults.
+    """
+    name = name.lower()
+    factories: dict[str, Callable[..., Dataset]] = {
+        "mobiletab": lambda **kw: MobileTabGenerator(MobileTabConfig(seed=seed, **kw)).generate(),
+        "timeshift": lambda **kw: TimeshiftGenerator(TimeshiftConfig(seed=seed, **kw)).generate(),
+        "mpu": lambda **kw: MPUGenerator(MPUConfig(seed=seed, **kw)).generate(),
+    }
+    if name not in factories:
+        raise KeyError(f"unknown dataset {name!r}; expected one of {DATASET_NAMES}")
+    return factories[name](**overrides)

@@ -1,0 +1,81 @@
+"""Train/test splitting utilities.
+
+Following Section 7 of the paper, datasets are split *by user*: 90% of users
+form the training group and 10% the test group.  For the small-user MPU
+dataset the paper instead uses k-fold cross-validation with k = 4, training a
+separate model per fold and evaluating on the combined out-of-fold
+predictions.  Both strategies are provided here, plus a helper to carve a
+validation set of users out of a training set (used for the GBDT tree-depth
+search of Section 5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schema import Dataset
+
+__all__ = ["TrainTestSplit", "user_split", "k_fold_splits", "validation_split"]
+
+
+@dataclass(frozen=True)
+class TrainTestSplit:
+    """A user-level train/test partition of a dataset."""
+
+    train: Dataset
+    test: Dataset
+
+    @property
+    def n_train_users(self) -> int:
+        return self.train.n_users
+
+    @property
+    def n_test_users(self) -> int:
+        return self.test.n_users
+
+
+def _shuffled_user_ids(dataset: Dataset, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    user_ids = dataset.user_ids()
+    rng.shuffle(user_ids)
+    return user_ids
+
+
+def user_split(dataset: Dataset, test_fraction: float = 0.1, seed: int = 0) -> TrainTestSplit:
+    """Random user-level split with the given test fraction (default 10%)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if dataset.n_users < 2:
+        raise ValueError("need at least two users to split")
+    user_ids = _shuffled_user_ids(dataset, seed)
+    n_test = max(1, int(round(test_fraction * len(user_ids))))
+    n_test = min(n_test, len(user_ids) - 1)
+    test_ids = user_ids[:n_test]
+    train_ids = user_ids[n_test:]
+    return TrainTestSplit(train=dataset.subset(train_ids), test=dataset.subset(test_ids))
+
+
+def k_fold_splits(dataset: Dataset, k: int = 4, seed: int = 0) -> list[TrainTestSplit]:
+    """User-level k-fold cross-validation splits (Section 7, MPU)."""
+    if k < 2:
+        raise ValueError("k must be at least 2")
+    if dataset.n_users < k:
+        raise ValueError(f"need at least {k} users for {k}-fold CV")
+    user_ids = _shuffled_user_ids(dataset, seed)
+    folds = np.array_split(user_ids, k)
+    splits: list[TrainTestSplit] = []
+    for i in range(k):
+        test_ids = folds[i]
+        train_ids = np.concatenate([folds[j] for j in range(k) if j != i])
+        splits.append(TrainTestSplit(train=dataset.subset(train_ids), test=dataset.subset(test_ids)))
+    return splits
+
+
+def validation_split(dataset: Dataset, validation_fraction: float = 0.1, seed: int = 0) -> TrainTestSplit:
+    """Split a training set further into train/validation by user.
+
+    Section 5.4 holds out 10% of training users to pick the GBDT tree depth.
+    """
+    return user_split(dataset, test_fraction=validation_fraction, seed=seed + 104729)

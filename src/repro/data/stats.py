@@ -1,0 +1,119 @@
+"""Dataset statistics matching the paper's descriptive tables and figures.
+
+* :func:`dataset_summary` — positive rate / session count / user count rows
+  of Table 2.
+* :func:`access_rate_cdf` — the per-user access-rate CDF of Figure 1
+  (including the mass of users with zero accesses).
+* :func:`session_count_histogram` — the per-user session-count distribution
+  of Figure 5.
+* :func:`fraction_with_history` — the "less than 1% of sessions have no
+  previous history" observation of Section 8 that motivates evaluating on
+  the final days only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schema import Dataset
+
+__all__ = [
+    "DatasetSummary",
+    "dataset_summary",
+    "access_rate_cdf",
+    "session_count_histogram",
+    "fraction_with_history",
+]
+
+
+@dataclass(frozen=True)
+class DatasetSummary:
+    """One row of Table 2."""
+
+    name: str
+    positive_rate: float
+    n_sessions: int
+    n_users: int
+    zero_access_user_fraction: float
+    mean_sessions_per_user: float
+
+    def as_row(self) -> dict[str, float | str]:
+        return {
+            "dataset": self.name,
+            "positive_rate": round(self.positive_rate, 4),
+            "sessions": self.n_sessions,
+            "users": self.n_users,
+            "zero_access_users": round(self.zero_access_user_fraction, 4),
+            "mean_sessions_per_user": round(self.mean_sessions_per_user, 2),
+        }
+
+
+def dataset_summary(dataset: Dataset) -> DatasetSummary:
+    """Summary statistics for one dataset (a row of Table 2)."""
+    n_users = dataset.n_users
+    n_sessions = dataset.n_sessions
+    zero_access = sum(1 for u in dataset.users if u.n_accesses == 0)
+    return DatasetSummary(
+        name=dataset.name,
+        positive_rate=dataset.positive_rate,
+        n_sessions=n_sessions,
+        n_users=n_users,
+        zero_access_user_fraction=zero_access / n_users if n_users else 0.0,
+        mean_sessions_per_user=n_sessions / n_users if n_users else 0.0,
+    )
+
+
+def access_rate_cdf(dataset: Dataset, grid: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Cumulative distribution of per-user access rates (Figure 1).
+
+    Returns ``(rates, cumulative_fraction_of_users)`` where
+    ``cumulative_fraction_of_users[i]`` is the fraction of users whose access
+    rate is <= ``rates[i]``.  Users with no sessions count as rate 0.
+    """
+    if dataset.n_users == 0:
+        raise ValueError("dataset has no users")
+    rates = np.asarray([u.access_rate for u in dataset.users], dtype=np.float64)
+    if grid is None:
+        grid = np.linspace(0.0, 1.0, 101)
+    grid = np.asarray(grid, dtype=np.float64)
+    cdf = np.array([(rates <= g).mean() for g in grid])
+    return grid, cdf
+
+
+def session_count_histogram(
+    dataset: Dataset, bin_width: int = 50, cap: int | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of per-user session counts (Figure 5).
+
+    Returns ``(bin_edges, counts)``.  ``cap`` truncates the distribution the
+    way Figure 5 caps it at 20,000 sessions.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    counts = np.asarray([len(u) for u in dataset.users], dtype=np.int64)
+    if cap is not None:
+        counts = np.minimum(counts, cap)
+    upper = int(counts.max()) + bin_width if counts.size else bin_width
+    edges = np.arange(0, upper + bin_width, bin_width)
+    histogram, _ = np.histogram(counts, bins=edges)
+    return edges, histogram
+
+
+def fraction_with_history(dataset: Dataset, evaluation_days: int = 7) -> float:
+    """Fraction of sessions in the last ``evaluation_days`` days whose user has prior history."""
+    boundary = dataset.day_boundary(evaluation_days)
+    with_history = 0
+    total = 0
+    for user in dataset.users:
+        in_window = user.timestamps >= boundary
+        total += int(in_window.sum())
+        if not in_window.any():
+            continue
+        first_in_window = int(np.argmax(in_window))
+        # Sessions in the window that are preceded by at least one session.
+        indices = np.nonzero(in_window)[0]
+        with_history += int(np.sum(indices > 0))
+        _ = first_in_window
+    return with_history / total if total else 0.0

@@ -1,0 +1,133 @@
+"""Prediction tasks: turning access logs into labelled examples.
+
+The paper defines two prediction problems (Section 3.2):
+
+* **Session access** — at the start of each session, predict whether the
+  activity will be accessed within that session.  One example per session;
+  the label is the session's access flag and the usable history is every
+  session that started strictly before it.
+
+* **Timeshifted (peak-window) access** (Section 3.2.1) — several hours before
+  the daily peak window, predict whether the user will access the activity in
+  any session during that window.  One example per user × day; no
+  session-specific context is available at prediction time.
+
+Both task types produce :class:`Example` records that the tabular feature
+pipeline and the sequence models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .schema import SECONDS_PER_DAY, SECONDS_PER_HOUR, Dataset, UserLog
+
+__all__ = ["Example", "session_examples", "peak_window_examples", "peak_window_bounds"]
+
+
+@dataclass(frozen=True)
+class Example:
+    """One labelled prediction example.
+
+    ``prediction_time`` is the moment the probability estimate is needed;
+    only history strictly before this time may be used for features.
+    ``context`` is the current-session context (``None`` for the timeshifted
+    task, which has no session at prediction time).  ``session_index`` is the
+    index of the session within the user's log for session-access examples.
+    """
+
+    user_id: int
+    prediction_time: int
+    label: int
+    context: dict[str, float] | None
+    session_index: int | None
+    day_index: int | None = None
+
+
+def session_examples(
+    dataset: Dataset,
+    start_time: int | None = None,
+    end_time: int | None = None,
+) -> dict[int, list[Example]]:
+    """Session-access examples grouped by user id.
+
+    Only sessions with ``start_time <= t < end_time`` become examples (both
+    bounds optional).  This implements the paper's protocol of training on
+    the most recent days and evaluating on the final 7 days (Section 8) while
+    still letting features look at the user's full prior history.
+    """
+    lo = start_time if start_time is not None else -np.inf
+    hi = end_time if end_time is not None else np.inf
+    grouped: dict[int, list[Example]] = {}
+    for user in dataset.users:
+        examples: list[Example] = []
+        for index, timestamp in enumerate(user.timestamps):
+            if not (lo <= timestamp < hi):
+                continue
+            examples.append(
+                Example(
+                    user_id=user.user_id,
+                    prediction_time=int(timestamp),
+                    label=int(user.accesses[index]),
+                    context=user.context_row(index),
+                    session_index=index,
+                )
+            )
+        if examples:
+            grouped[user.user_id] = examples
+    return grouped
+
+
+def peak_window_bounds(dataset: Dataset, day_index: int) -> tuple[int, int]:
+    """Start and end timestamps of the peak window on the given day."""
+    if dataset.peak_hours is None:
+        raise ValueError(f"dataset {dataset.name!r} has no peak_hours defined")
+    if not 0 <= day_index < dataset.n_days:
+        raise ValueError(f"day_index {day_index} outside [0, {dataset.n_days})")
+    lo_hour, hi_hour = dataset.peak_hours
+    day_start = dataset.start_time + day_index * SECONDS_PER_DAY
+    return day_start + lo_hour * SECONDS_PER_HOUR, day_start + hi_hour * SECONDS_PER_HOUR
+
+
+def peak_window_examples(
+    dataset: Dataset,
+    lead_seconds: int = 6 * SECONDS_PER_HOUR,
+    first_day: int = 0,
+    last_day: int | None = None,
+) -> dict[int, list[Example]]:
+    """Timeshifted precompute examples grouped by user id.
+
+    One example per user per day in ``[first_day, last_day)``.  The label is
+    1 when the user has at least one access within that day's peak window.
+    The prediction is made ``lead_seconds`` before the window opens, so
+    features may only use sessions before that moment.
+    """
+    if dataset.peak_hours is None:
+        raise ValueError(f"dataset {dataset.name!r} has no peak_hours defined")
+    if lead_seconds < 0:
+        raise ValueError("lead_seconds must be non-negative")
+    last = last_day if last_day is not None else dataset.n_days
+    if not 0 <= first_day < last <= dataset.n_days:
+        raise ValueError("invalid day range")
+
+    grouped: dict[int, list[Example]] = {}
+    for user in dataset.users:
+        examples: list[Example] = []
+        for day in range(first_day, last):
+            peak_start, peak_end = peak_window_bounds(dataset, day)
+            in_peak = (user.timestamps >= peak_start) & (user.timestamps < peak_end)
+            label = int(np.any(user.accesses[in_peak] == 1))
+            examples.append(
+                Example(
+                    user_id=user.user_id,
+                    prediction_time=int(peak_start - lead_seconds),
+                    label=label,
+                    context=None,
+                    session_index=None,
+                    day_index=day,
+                )
+            )
+        grouped[user.user_id] = examples
+    return grouped

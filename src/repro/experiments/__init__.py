@@ -1,0 +1,58 @@
+"""Experiment registry: one entry per table/figure of the paper's evaluation.
+
+Each experiment is a zero-configuration callable returning an
+:class:`~repro.experiments.results.ExperimentResult`; keyword arguments let
+benchmarks and examples scale the workloads up or down.  ``EXPERIMENTS`` maps
+the experiment id (``"table3"``, ``"fig7"``, ...) to its callable, and
+:func:`run_experiment` dispatches by id.
+"""
+
+from .comparison import ComparisonConfig, ComparisonOutput, cached_comparison, run_comparison
+from .figures import run_fig1, run_fig4, run_fig5, run_fig6, run_fig7
+from .production import run_online_prefetch, run_serving_cost, run_training_throughput
+from .results import ExperimentResult
+from .tables import run_table2, run_table3, run_table4, run_table5
+
+__all__ = [
+    "ComparisonConfig",
+    "ComparisonOutput",
+    "cached_comparison",
+    "run_comparison",
+    "ExperimentResult",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_fig1",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_online_prefetch",
+    "run_serving_cost",
+    "run_training_throughput",
+    "EXPERIMENTS",
+    "run_experiment",
+]
+
+EXPERIMENTS = {
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "fig1": run_fig1,
+    "fig4": run_fig4,
+    "fig5": run_fig5,
+    "fig6": run_fig6,
+    "fig7": run_fig7,
+    "online_prefetch": run_online_prefetch,
+    "serving_cost": run_serving_cost,
+    "train_throughput": run_training_throughput,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id (e.g. ``"table3"``, ``"fig7"``)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[experiment_id](**kwargs)

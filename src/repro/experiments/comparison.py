@@ -1,0 +1,162 @@
+"""Shared model-comparison machinery behind Tables 3-4 and Figure 6.
+
+Training all four models on a dataset is the expensive part of the
+evaluation, and three artefacts (PR-AUC table, recall@precision table, PR
+curves) are computed from the same predictions, so the comparison is done
+once per (dataset, scale, seed) and memoised for the lifetime of the process.
+
+The protocol follows Section 7/8 of the paper:
+
+* MobileTab and Timeshift use a 90/10 user split (train/test);
+* MPU uses k-fold cross-validation with k = 4, training one model per fold
+  and pooling the out-of-fold predictions;
+* metrics are computed on the final 7 days of the test users' logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+import numpy as np
+
+from ..data import Dataset, k_fold_splits, make_dataset, user_split
+from ..models import (
+    AccessProbabilityModel,
+    GBDTModel,
+    LogisticRegressionModel,
+    PercentageModel,
+    PredictionResult,
+    RNNModel,
+    RNNModelConfig,
+    TaskSpec,
+)
+
+__all__ = ["ComparisonConfig", "ComparisonOutput", "run_comparison", "default_task_for", "MODEL_ORDER"]
+
+MODEL_ORDER = ("percentage", "lr", "gbdt", "rnn")
+
+#: Default evaluation scale per dataset (chosen so that the full benchmark
+#: harness runs in minutes on a laptop; larger values sharpen the metrics).
+DEFAULT_SCALE = {
+    "mobiletab": {"n_users": 250},
+    "timeshift": {"n_users": 250},
+    "mpu": {"n_users": 64},
+}
+
+
+def default_task_for(dataset_name: str) -> TaskSpec:
+    """Timeshift uses the peak-window task; the others predict session accesses."""
+    return TaskSpec(kind="peak" if dataset_name == "timeshift" else "session")
+
+
+@dataclass(frozen=True)
+class ComparisonConfig:
+    """Scale and modelling knobs for one dataset comparison."""
+
+    dataset: str
+    n_users: int | None = None
+    seed: int = 0
+    models: tuple[str, ...] = MODEL_ORDER
+    rnn_hidden: int = 48
+    rnn_truncate: int = 400
+    k_folds: int = 4
+    test_fraction: float = 0.1
+
+    def resolved_users(self) -> int:
+        if self.n_users is not None:
+            return self.n_users
+        return DEFAULT_SCALE[self.dataset]["n_users"]
+
+
+@dataclass
+class ComparisonOutput:
+    """Pooled test predictions per model, plus bookkeeping."""
+
+    config: ComparisonConfig
+    results: dict[str, PredictionResult] = field(default_factory=dict)
+    best_gbdt_depth: int | None = None
+
+    def models(self) -> list[str]:
+        return [name for name in self.config.models if name in self.results]
+
+
+def _build_model(name: str, config: ComparisonConfig) -> AccessProbabilityModel:
+    if name == "percentage":
+        return PercentageModel()
+    if name == "lr":
+        return LogisticRegressionModel()
+    if name == "gbdt":
+        return GBDTModel(depths=(3, 4, 5))
+    if name == "rnn":
+        return RNNModel(
+            RNNModelConfig(
+                hidden_size=config.rnn_hidden,
+                mlp_hidden=64,
+                truncate_sessions=config.rnn_truncate,
+                seed=config.seed,
+            )
+        )
+    raise KeyError(f"unknown model {name!r}")
+
+
+def _evaluate_split(
+    name: str, config: ComparisonConfig, train: Dataset, test: Dataset, task: TaskSpec
+) -> tuple[PredictionResult, int | None]:
+    model = _build_model(name, config)
+    model.fit(train, task)
+    result = model.evaluate(test, task)
+    best_depth = model.best_depth_ if isinstance(model, GBDTModel) else None
+    return result, best_depth
+
+
+def run_comparison(config: ComparisonConfig) -> ComparisonOutput:
+    """Train and evaluate the requested models on one dataset."""
+    dataset = make_dataset(config.dataset, seed=config.seed, n_users=config.resolved_users())
+    task = default_task_for(config.dataset)
+    output = ComparisonOutput(config=config)
+
+    if config.dataset == "mpu" and dataset.n_users >= config.k_folds * 4:
+        splits = k_fold_splits(dataset, k=config.k_folds, seed=config.seed)
+    else:
+        splits = [user_split(dataset, test_fraction=config.test_fraction, seed=config.seed)]
+
+    for name in config.models:
+        pooled: PredictionResult | None = None
+        for split in splits:
+            result, best_depth = _evaluate_split(name, config, split.train, split.test, task)
+            pooled = result if pooled is None else pooled.merge(result)
+            if best_depth is not None:
+                output.best_gbdt_depth = best_depth
+        assert pooled is not None
+        pooled.model_name = name
+        output.results[name] = pooled
+    return output
+
+
+@lru_cache(maxsize=8)
+def _cached_comparison(
+    dataset: str, n_users: int | None, seed: int, models: tuple[str, ...], rnn_hidden: int, rnn_truncate: int
+) -> ComparisonOutput:
+    return run_comparison(
+        ComparisonConfig(
+            dataset=dataset,
+            n_users=n_users,
+            seed=seed,
+            models=models,
+            rnn_hidden=rnn_hidden,
+            rnn_truncate=rnn_truncate,
+        )
+    )
+
+
+def cached_comparison(
+    dataset: str,
+    n_users: int | None = None,
+    seed: int = 0,
+    models: tuple[str, ...] = MODEL_ORDER,
+    rnn_hidden: int = 48,
+    rnn_truncate: int = 400,
+) -> ComparisonOutput:
+    """Memoised :func:`run_comparison` (Tables 3-4 and Figure 6 share predictions)."""
+    return _cached_comparison(dataset, n_users, seed, tuple(models), rnn_hidden, rnn_truncate)

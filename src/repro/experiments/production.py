@@ -1,0 +1,187 @@
+"""Reproductions of the Section 9 production findings.
+
+* :func:`run_online_prefetch` — the +7.81% successful-prefetch uplift of the
+  RNN over the GBDT at a threshold targeting 60% precision.
+* :func:`run_serving_cost` — the serving dataflow comparison: ~20 key-value
+  lookups per prediction for the aggregation-feature path vs a single
+  hidden-state lookup, model compute ratios, and the overall ~10x serving
+  cost reduction.
+* :func:`run_training_throughput` — Section 7.1's minibatch evaluation
+  strategies (padded batching vs per-user gradient accumulation).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..data import make_dataset, user_split
+from ..data.tasks import session_examples
+from ..features import FeatureConfig, TabularFeaturizer
+from ..models import GBDTModel, RNNModel, RNNModelConfig, TaskSpec
+from ..serving import (
+    AggregationFeatureService,
+    CostParameters,
+    HiddenStateService,
+    KeyValueStore,
+    OnlineExperiment,
+    StreamProcessor,
+    estimate_serving_costs,
+)
+from .results import ExperimentResult
+
+__all__ = ["run_online_prefetch", "run_serving_cost", "run_training_throughput"]
+
+
+def run_online_prefetch(
+    n_train_users: int = 150,
+    n_live_users: int = 80,
+    seed: int = 0,
+    precision_target: float = 0.6,
+) -> ExperimentResult:
+    """Successful-prefetch uplift of the RNN arm over the GBDT arm (Section 9)."""
+    task = TaskSpec(kind="session")
+    train_dataset = make_dataset("mobiletab", seed=seed, n_users=n_train_users)
+    live_dataset = make_dataset("mobiletab", seed=seed + 1000, n_users=n_live_users)
+
+    gbdt = GBDTModel(depths=(3, 4, 5)).fit(train_dataset, task)
+    rnn = RNNModel(RNNModelConfig(seed=seed)).fit(train_dataset, task)
+    report = OnlineExperiment({"gbdt": gbdt, "rnn": rnn}, task=task, precision_target=precision_target).run(
+        train_dataset, live_dataset
+    )
+
+    result = ExperimentResult(
+        experiment_id="online_prefetch",
+        description=f"Successful prefetches at a {precision_target:.0%}-precision threshold",
+        paper_reference="Paper Section 9: recall 51.1% (RNN) vs 47.4% (GBDT) => +7.81% successful prefetches",
+        metadata={"uplift": report.successful_prefetch_uplift("rnn", "gbdt")},
+    )
+    for arm_name, arm in report.arms.items():
+        row = {"model": arm_name, **arm.outcome.as_row()}
+        result.rows.append(row)
+    result.rows.append(
+        {
+            "model": "rnn vs gbdt uplift",
+            "successful_prefetches": round(report.successful_prefetch_uplift("rnn", "gbdt"), 4),
+        }
+    )
+    return result
+
+
+def run_serving_cost(
+    n_users: int = 100,
+    n_replay_users: int = 20,
+    seed: int = 0,
+    hidden_size: int = 48,
+) -> ExperimentResult:
+    """Serving cost comparison: hidden-state path vs aggregation-feature path."""
+    task = TaskSpec(kind="session")
+    dataset = make_dataset("mobiletab", seed=seed, n_users=n_users)
+    split = user_split(dataset, test_fraction=0.2, seed=seed)
+
+    gbdt = GBDTModel(depths=(3, 4)).fit(split.train, task)
+    rnn = RNNModel(RNNModelConfig(hidden_size=hidden_size, seed=seed)).fit(split.train, task)
+    assert gbdt.featurizer is not None and gbdt.estimator is not None
+    assert rnn.network is not None and rnn.builder is not None
+
+    # Static (analytic) cost estimates.
+    reports = estimate_serving_costs(rnn.network, gbdt.estimator, gbdt.featurizer, parameters=CostParameters())
+
+    # Dynamic replay through the serving services, metering actual KV traffic.
+    replay_users = split.test.users[:n_replay_users]
+    rnn_store, gbdt_store = KeyValueStore("rnn"), KeyValueStore("gbdt")
+    stream = StreamProcessor()
+    hidden_service = HiddenStateService(
+        rnn.network, rnn.builder, rnn_store, stream, session_length=dataset.session_length
+    )
+    aggregation_service = AggregationFeatureService(gbdt.featurizer, gbdt.estimator, dataset.schema, gbdt_store)
+
+    # Replay all sessions in global time order (the stream clock is monotone).
+    events = sorted(
+        (
+            (int(user.timestamps[index]), user, index)
+            for user in replay_users
+            for index in range(len(user))
+        ),
+        key=lambda item: item[0],
+    )
+    predictions = 0
+    for timestamp, user, index in events:
+        context = user.context_row(index)
+        accessed = bool(user.accesses[index])
+        stream.advance_to(timestamp)
+        hidden_service.predict(user.user_id, context, timestamp)
+        aggregation_service.predict(user.user_id, context, timestamp)
+        hidden_service.observe_session(user.user_id, context, timestamp, accessed)
+        aggregation_service.observe_session(user.user_id, context, timestamp, accessed)
+        predictions += 1
+    stream.flush()
+
+    result = ExperimentResult(
+        experiment_id="serving_cost",
+        description="Per-prediction serving cost: RNN hidden-state path vs GBDT aggregation path",
+        paper_reference=(
+            "Paper Section 9: ~20 feature lookups/prediction for the traditional path vs 1 for the RNN; "
+            "RNN model ~9.5x more compute but ~10x lower total serving cost"
+        ),
+        metadata={
+            "replayed_predictions": predictions,
+            "rnn_kv_gets": rnn_store.stats.gets,
+            "gbdt_kv_gets": gbdt_store.stats.gets,
+            "rnn_storage_bytes": rnn_store.total_bytes,
+            "gbdt_storage_bytes": gbdt_store.total_bytes,
+        },
+    )
+    for report in reports.values():
+        result.rows.append(report.as_row())
+    rnn_cost = reports["rnn"].total_cost_per_prediction
+    gbdt_cost = reports["gbdt"].total_cost_per_prediction
+    result.rows.append(
+        {
+            "model": "ratios",
+            "kv_lookups": round(reports["gbdt"].kv_lookups_per_prediction / reports["rnn"].kv_lookups_per_prediction, 2),
+            "model_flops": round(
+                reports["rnn"].model_flops_per_prediction / max(reports["gbdt"].model_flops_per_prediction, 1.0), 2
+            ),
+            "total_cost": round(gbdt_cost / max(rnn_cost, 1e-9), 2),
+        }
+    )
+    return result
+
+
+def run_training_throughput(
+    n_users: int = 40,
+    seed: int = 0,
+    epochs: int = 1,
+) -> ExperimentResult:
+    """Section 7.1 — padded-batch vs per-user minibatch evaluation throughput.
+
+    The paper's per-user strategy (thread-level parallelism) trains ~2x faster
+    than padded batching on their stack; in a single-threaded NumPy setting
+    padding amortises Python overhead instead, so the expected winner flips —
+    the experiment reports both so the trade-off is visible.
+    """
+    dataset = make_dataset("mobiletab", seed=seed, n_users=n_users)
+    task = TaskSpec(kind="session")
+    result = ExperimentResult(
+        experiment_id="train_throughput",
+        description="RNN training throughput by minibatch evaluation strategy",
+        paper_reference="Paper Section 7.1: per-user evaluation ~2x faster than padded batching (thread-based stack)",
+    )
+    for strategy in ("padded", "per_user"):
+        model = RNNModel(
+            RNNModelConfig(strategy=strategy, epochs=epochs, early_stopping_patience=None, seed=seed)
+        )
+        start = time.perf_counter()
+        model.fit(dataset, task)
+        elapsed = time.perf_counter() - start
+        sessions = dataset.n_sessions
+        result.rows.append(
+            {
+                "strategy": strategy,
+                "seconds": round(elapsed, 2),
+                "sessions_per_second": round(sessions * epochs / elapsed, 1),
+            }
+        )
+    return result

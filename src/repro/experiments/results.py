@@ -1,0 +1,51 @@
+"""Common result container for reproduced tables and figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one reproduced table or figure.
+
+    ``rows`` is a list of dictionaries — one per table row, or one per series
+    point for figures.  ``paper_reference`` states what the original paper
+    reports so EXPERIMENTS.md can juxtapose the two.
+    """
+
+    experiment_id: str
+    description: str
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+    paper_reference: str = ""
+
+    def format_table(self) -> str:
+        """Render the rows as a fixed-width text table."""
+        if not self.rows:
+            return f"[{self.experiment_id}] (no rows)"
+        columns = list(self.rows[0].keys())
+        widths = {
+            column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in self.rows))
+            for column in columns
+        }
+        header = " | ".join(str(column).ljust(widths[column]) for column in columns)
+        separator = "-+-".join("-" * widths[column] for column in columns)
+        lines = [f"[{self.experiment_id}] {self.description}", header, separator]
+        for row in self.rows:
+            lines.append(" | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column across all rows."""
+        return [row[name] for row in self.rows]
+
+    def row_for(self, **criteria: Any) -> dict[str, Any]:
+        """First row matching all the given column values."""
+        for row in self.rows:
+            if all(row.get(key) == value for key, value in criteria.items()):
+                return row
+        raise KeyError(f"no row matching {criteria}")

@@ -1,0 +1,35 @@
+"""Feature engineering: encoders, bucketing, aggregations, tabular and sequence pipelines."""
+
+from .aggregations import DEFAULT_WINDOWS, MISSING_ELAPSED, AggregationConfig, HistoryAggregator
+from .bucketing import N_BUCKETS, bucket_scale, log_bucket, one_hot_buckets
+from .encoders import (
+    HASH_MODULO,
+    HashingEncoder,
+    OneHotEncoder,
+    encode_day_of_week,
+    encode_hour_of_day,
+)
+from .pipeline import FeatureConfig, TabularData, TabularFeaturizer, ablation_config
+from .sequence import SequenceBuilder, UserSequence
+
+__all__ = [
+    "DEFAULT_WINDOWS",
+    "MISSING_ELAPSED",
+    "AggregationConfig",
+    "HistoryAggregator",
+    "N_BUCKETS",
+    "bucket_scale",
+    "log_bucket",
+    "one_hot_buckets",
+    "HASH_MODULO",
+    "HashingEncoder",
+    "OneHotEncoder",
+    "encode_day_of_week",
+    "encode_hour_of_day",
+    "FeatureConfig",
+    "TabularData",
+    "TabularFeaturizer",
+    "ablation_config",
+    "SequenceBuilder",
+    "UserSequence",
+]

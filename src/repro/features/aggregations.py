@@ -1,0 +1,246 @@
+"""Time-window aggregations and elapsed-time features (Section 5.2).
+
+Traditional models cannot consume a variable-length access log directly, so
+the paper engineers fixed-length features from it:
+
+* **Time-based aggregations** — number of sessions, number of accesses and
+  their ratio over trailing windows of 28 days, 7 days, 1 day and 1 hour;
+  additionally restricted to past sessions whose context matches the current
+  session's context on every field of some subset (e.g. "accesses from
+  sessions with the same active tab").  All (window) × (context subset)
+  combinations are generated.
+* **Time-elapsed features** — seconds since the last session and since the
+  last access, again optionally restricted to context-matching past sessions.
+
+The aggregations are *causal*: for an example predicted at time ``t`` only
+sessions that started strictly before ``t`` contribute.  The serving cost
+model (Section 9) charges one key-value lookup per aggregation group, which
+is why the number of generated feature groups matters beyond model quality.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.schema import ContextSchema, UserLog
+
+__all__ = ["AggregationConfig", "HistoryAggregator", "DEFAULT_WINDOWS", "MISSING_ELAPSED"]
+
+#: Trailing windows used by the paper: 28 days, 7 days, 1 day, 1 hour.
+DEFAULT_WINDOWS: tuple[int, ...] = (28 * 86400, 7 * 86400, 86400, 3600)
+
+#: Sentinel for "no matching previous event"; downstream encoders map it to
+#: the last log bucket / a capped numeric value.
+MISSING_ELAPSED = np.inf
+
+#: Bin edges used when matching on the numeric badge-count context: exact
+#: matching on a 0-99 count would fragment history into useless slivers, so
+#: counts are matched on coarse bins instead (0, 1-3, 4-10, 11+).
+_NUMERIC_MATCH_BINS = np.array([0.5, 3.5, 10.5])
+
+
+@dataclass(frozen=True)
+class AggregationConfig:
+    """Configuration of the aggregation feature generator."""
+
+    windows: tuple[int, ...] = DEFAULT_WINDOWS
+    max_subset_size: int = 2
+    include_elapsed: bool = True
+    include_aggregations: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.windows:
+            raise ValueError("at least one window is required")
+        if any(w <= 0 for w in self.windows):
+            raise ValueError("windows must be positive")
+        if self.max_subset_size < 0:
+            raise ValueError("max_subset_size must be non-negative")
+
+
+def _numeric_match_code(values: np.ndarray) -> np.ndarray:
+    """Coarse bin codes for numeric context values (see _NUMERIC_MATCH_BINS)."""
+    return np.digitize(np.asarray(values, dtype=np.float64), _NUMERIC_MATCH_BINS)
+
+
+class HistoryAggregator:
+    """Computes aggregation and elapsed-time features for one dataset schema."""
+
+    def __init__(self, schema: ContextSchema, config: AggregationConfig | None = None) -> None:
+        self.schema = schema
+        self.config = config or AggregationConfig()
+        self.subsets: list[tuple[str, ...]] = self._build_subsets()
+
+    # ------------------------------------------------------------------
+    def _build_subsets(self) -> list[tuple[str, ...]]:
+        names = self.schema.names()
+        subsets: list[tuple[str, ...]] = [()]
+        for size in range(1, min(self.config.max_subset_size, len(names)) + 1):
+            subsets.extend(itertools.combinations(names, size))
+        return subsets
+
+    # ------------------------------------------------------------------
+    def feature_names(self) -> list[str]:
+        names: list[str] = []
+        for subset in self.subsets:
+            tag = "all" if not subset else "+".join(subset)
+            if self.config.include_aggregations:
+                for window in self.config.windows:
+                    for stat in ("sessions", "accesses", "access_rate"):
+                        names.append(f"agg[{tag}][{window}s].{stat}")
+            if self.config.include_elapsed:
+                names.append(f"elapsed[{tag}].since_session")
+                names.append(f"elapsed[{tag}].since_access")
+        return names
+
+    @property
+    def n_features(self) -> int:
+        per_subset = 0
+        if self.config.include_aggregations:
+            per_subset += 3 * len(self.config.windows)
+        if self.config.include_elapsed:
+            per_subset += 2
+        return per_subset * len(self.subsets)
+
+    @property
+    def n_lookup_groups(self) -> int:
+        """Number of distinct (subset, window) aggregation groups.
+
+        The serving simulation uses this as the number of key-value lookups a
+        traditional model needs per prediction (Section 9 reports ~20 for
+        MobileTab).
+        """
+        groups = 0
+        if self.config.include_aggregations:
+            groups += len(self.subsets) * len(self.config.windows)
+        if self.config.include_elapsed:
+            groups += len(self.subsets)
+        return groups
+
+    # ------------------------------------------------------------------
+    def _match_codes(self, subset: tuple[str, ...], values: dict[str, np.ndarray], size: int) -> np.ndarray:
+        """Combine the subset's context values into a single int code per row."""
+        if not subset:
+            return np.zeros(size, dtype=np.int64)
+        codes = np.zeros(size, dtype=np.int64)
+        for name in subset:
+            column = np.asarray(values[name])
+            field_def = self.schema.field(name)
+            if field_def.kind == "numeric":
+                column_codes = _numeric_match_code(column)
+                cardinality = len(_NUMERIC_MATCH_BINS) + 1
+            else:
+                column_codes = column.astype(np.int64)
+                cardinality = int(field_def.cardinality or (column_codes.max() + 1 if column_codes.size else 1))
+            codes = codes * cardinality + column_codes
+        return codes
+
+    # ------------------------------------------------------------------
+    def compute(
+        self,
+        user: UserLog,
+        prediction_times: np.ndarray,
+        contexts: list[dict[str, float]] | None,
+    ) -> np.ndarray:
+        """Feature matrix of shape ``(len(prediction_times), n_features)``.
+
+        ``contexts`` supplies the current context of each example (needed for
+        context-matched subsets); pass ``None`` for the timeshifted task, in
+        which case only the unconditional subset produces non-trivial values
+        and the matched subsets report "no matching history".
+        """
+        prediction_times = np.asarray(prediction_times, dtype=np.int64)
+        n_examples = prediction_times.size
+        features = np.zeros((n_examples, self.n_features), dtype=np.float64)
+        if n_examples == 0:
+            return features
+
+        session_times = user.timestamps
+        accesses = user.accesses.astype(np.int64)
+
+        example_context: dict[str, np.ndarray] = {}
+        if contexts is not None:
+            if len(contexts) != n_examples:
+                raise ValueError("contexts must align with prediction_times")
+            for name in self.schema.names():
+                example_context[name] = np.asarray([c[name] for c in contexts])
+
+        column = 0
+        per_subset = (3 * len(self.config.windows) if self.config.include_aggregations else 0) + (
+            2 if self.config.include_elapsed else 0
+        )
+        for subset in self.subsets:
+            block = features[:, column : column + per_subset]
+            if subset and contexts is None:
+                # No current context: matched subsets have no usable history.
+                if self.config.include_elapsed:
+                    block[:, -2:] = MISSING_ELAPSED
+                column += per_subset
+                continue
+            session_codes = self._match_codes(subset, user.context, len(user))
+            example_codes = self._match_codes(subset, example_context, n_examples) if subset else np.zeros(
+                n_examples, dtype=np.int64
+            )
+            self._fill_subset_block(
+                block, session_times, accesses, session_codes, prediction_times, example_codes
+            )
+            column += per_subset
+        return features
+
+    # ------------------------------------------------------------------
+    def _fill_subset_block(
+        self,
+        block: np.ndarray,
+        session_times: np.ndarray,
+        accesses: np.ndarray,
+        session_codes: np.ndarray,
+        prediction_times: np.ndarray,
+        example_codes: np.ndarray,
+    ) -> None:
+        """Fill one subset's feature columns for all examples (in place)."""
+        n_windows = len(self.config.windows)
+        if self.config.include_elapsed:
+            block[:, -2:] = MISSING_ELAPSED
+
+        for code in np.unique(example_codes):
+            example_mask = example_codes == code
+            example_times = prediction_times[example_mask]
+            member = session_codes == code
+            times_g = session_times[member]
+            if times_g.size == 0:
+                continue
+            accesses_g = accesses[member]
+            cum_accesses = np.concatenate([[0], np.cumsum(accesses_g)])
+            # Index (within the group) of the most recent access at or before j.
+            access_positions = np.where(accesses_g == 1)[0]
+
+            pos = np.searchsorted(times_g, example_times, side="left")
+            col = 0
+            if self.config.include_aggregations:
+                for window in self.config.windows:
+                    # Window is (q - w, q): a session exactly w old has aged out.
+                    lo = np.searchsorted(times_g, example_times - window, side="right")
+                    n_sessions = (pos - lo).astype(np.float64)
+                    n_acc = (cum_accesses[pos] - cum_accesses[lo]).astype(np.float64)
+                    with np.errstate(invalid="ignore", divide="ignore"):
+                        rate = np.where(n_sessions > 0, n_acc / np.maximum(n_sessions, 1.0), 0.0)
+                    block[example_mask, col] = n_sessions
+                    block[example_mask, col + 1] = n_acc
+                    block[example_mask, col + 2] = rate
+                    col += 3
+            if self.config.include_elapsed:
+                since_session = np.full(example_times.shape, MISSING_ELAPSED)
+                has_prev = pos > 0
+                since_session[has_prev] = example_times[has_prev] - times_g[pos[has_prev] - 1]
+
+                since_access = np.full(example_times.shape, MISSING_ELAPSED)
+                if access_positions.size:
+                    # For each example, the number of accesses strictly before it.
+                    access_count_before = cum_accesses[pos]
+                    has_access = access_count_before > 0
+                    last_access_index = access_positions[access_count_before[has_access] - 1]
+                    since_access[has_access] = example_times[has_access] - times_g[last_access_index]
+                block[example_mask, col] = since_session
+                block[example_mask, col + 1] = since_access

@@ -1,0 +1,260 @@
+"""Tabular feature pipeline for the traditional models (Sections 5.2-5.4).
+
+:class:`TabularFeaturizer` turns labelled :class:`~repro.data.tasks.Example`
+records into a fixed-width design matrix by assembling four feature families:
+
+* ``context`` (C) — one-hot / hashed encodings of the current session context
+  plus raw numeric context values;
+* ``time`` — hour-of-day and day-of-week derived from the prediction
+  timestamp;
+* ``aggregations`` (A) — trailing-window session/access counts and rates,
+  optionally restricted to context-matching history;
+* ``elapsed`` (E) — time since the last session / last access (again with
+  context-matched variants), either log-bucketed and one-hot encoded (for
+  logistic regression) or passed as a single ordinal log-bucket column (for
+  GBDT).
+
+The family switches implement the Table 5 ablation (C, E+C, A+E+C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from ..data.schema import ContextSchema, Dataset, UserLog
+from ..data.tasks import Example
+from .aggregations import DEFAULT_WINDOWS, AggregationConfig, HistoryAggregator
+from .bucketing import N_BUCKETS, log_bucket, one_hot_buckets
+from .encoders import HASH_MODULO, HashingEncoder, OneHotEncoder, encode_day_of_week, encode_hour_of_day
+
+__all__ = ["FeatureConfig", "TabularFeaturizer", "TabularData", "ablation_config"]
+
+
+@dataclass(frozen=True)
+class FeatureConfig:
+    """Switches and hyper-parameters of the tabular feature pipeline."""
+
+    include_context: bool = True
+    include_time: bool = True
+    include_aggregations: bool = True
+    include_elapsed: bool = True
+    one_hot_time: bool = True
+    one_hot_elapsed: bool = False
+    windows: tuple[int, ...] = DEFAULT_WINDOWS
+    max_context_subset: int = 2
+    max_one_hot_cardinality: int = 64
+    hash_modulo: int = HASH_MODULO
+    elapsed_buckets: int = N_BUCKETS
+
+    def aggregation_config(self) -> AggregationConfig:
+        return AggregationConfig(
+            windows=self.windows,
+            max_subset_size=self.max_context_subset if (self.include_aggregations or self.include_elapsed) else 0,
+            include_elapsed=self.include_elapsed,
+            include_aggregations=self.include_aggregations,
+        )
+
+
+def ablation_config(features: str, base: FeatureConfig | None = None) -> FeatureConfig:
+    """Named feature sets for the Table 5 ablation.
+
+    ``"C"`` — contextual features only; ``"E+C"`` — adds time-elapsed
+    features; ``"A+E+C"`` — the full set with time-based aggregations.
+    """
+    base = base or FeatureConfig()
+    normalized = features.replace(" ", "").upper()
+    if normalized == "C":
+        return replace(base, include_aggregations=False, include_elapsed=False)
+    if normalized in ("E+C", "C+E"):
+        return replace(base, include_aggregations=False, include_elapsed=True)
+    if normalized in ("A+E+C", "A+C+E", "FULL"):
+        return replace(base, include_aggregations=True, include_elapsed=True)
+    raise ValueError(f"unknown ablation feature set {features!r}; expected 'C', 'E+C' or 'A+E+C'")
+
+
+@dataclass
+class TabularData:
+    """A design matrix plus aligned labels and bookkeeping columns."""
+
+    X: np.ndarray
+    y: np.ndarray
+    user_ids: np.ndarray
+    prediction_times: np.ndarray
+    feature_names: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        n = self.X.shape[0]
+        if not (len(self.y) == len(self.user_ids) == len(self.prediction_times) == n):
+            raise ValueError("misaligned tabular data arrays")
+
+    def __len__(self) -> int:
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        return int(self.X.shape[1])
+
+    def subset(self, mask: np.ndarray) -> "TabularData":
+        return TabularData(
+            X=self.X[mask],
+            y=self.y[mask],
+            user_ids=self.user_ids[mask],
+            prediction_times=self.prediction_times[mask],
+            feature_names=self.feature_names,
+        )
+
+
+class TabularFeaturizer:
+    """Builds fixed-width feature vectors from examples and access history."""
+
+    def __init__(self, schema: ContextSchema, config: FeatureConfig | None = None) -> None:
+        self.schema = schema
+        self.config = config or FeatureConfig()
+        self._context_encoders: dict[str, OneHotEncoder | HashingEncoder | None] = {}
+        for field_def in schema:
+            if field_def.kind == "numeric":
+                self._context_encoders[field_def.name] = None
+            elif field_def.cardinality is not None and field_def.cardinality <= self.config.max_one_hot_cardinality:
+                self._context_encoders[field_def.name] = OneHotEncoder(field_def.cardinality)
+            else:
+                self._context_encoders[field_def.name] = HashingEncoder(self.config.hash_modulo)
+        self.aggregator = HistoryAggregator(schema, self.config.aggregation_config())
+        self._aggregation_names = self.aggregator.feature_names()
+        self._elapsed_columns = [i for i, name in enumerate(self._aggregation_names) if name.startswith("elapsed[")]
+        self._names = self._build_feature_names()
+
+    # ------------------------------------------------------------------
+    def _build_feature_names(self) -> list[str]:
+        names: list[str] = []
+        if self.config.include_context:
+            for field_def in self.schema:
+                encoder = self._context_encoders[field_def.name]
+                if encoder is None:
+                    names.append(f"ctx.{field_def.name}")
+                    names.append(f"ctx.log1p_{field_def.name}")
+                else:
+                    names.extend(encoder.feature_names(f"ctx.{field_def.name}"))
+        if self.config.include_time:
+            if self.config.one_hot_time:
+                names.extend(f"time.hour={h}" for h in range(24))
+                names.extend(f"time.dow={d}" for d in range(7))
+            else:
+                names.extend(["time.hour", "time.dow"])
+        for index, name in enumerate(self._aggregation_names):
+            if index in self._elapsed_columns:
+                if self.config.one_hot_elapsed:
+                    names.extend(f"{name}.bucket={b}" for b in range(self.config.elapsed_buckets))
+                else:
+                    names.append(f"{name}.bucket")
+            else:
+                names.append(name)
+        return names
+
+    # ------------------------------------------------------------------
+    def feature_names(self) -> list[str]:
+        return list(self._names)
+
+    @property
+    def n_features(self) -> int:
+        return len(self._names)
+
+    @property
+    def n_lookup_groups(self) -> int:
+        """Aggregation groups a serving system must look up per prediction."""
+        return self.aggregator.n_lookup_groups
+
+    # ------------------------------------------------------------------
+    def _encode_context(self, examples: list[Example]) -> np.ndarray:
+        blocks: list[np.ndarray] = []
+        for field_def in self.schema:
+            encoder = self._context_encoders[field_def.name]
+            values = np.asarray(
+                [0.0 if e.context is None else e.context[field_def.name] for e in examples], dtype=np.float64
+            )
+            if encoder is None:
+                blocks.append(values.reshape(-1, 1))
+                blocks.append(np.log1p(np.maximum(values, 0.0)).reshape(-1, 1))
+            else:
+                blocks.append(encoder.encode(values.astype(np.int64)))
+        return np.concatenate(blocks, axis=1) if blocks else np.zeros((len(examples), 0))
+
+    def _encode_time(self, prediction_times: np.ndarray) -> np.ndarray:
+        hour = encode_hour_of_day(prediction_times, one_hot=self.config.one_hot_time)
+        dow = encode_day_of_week(prediction_times, one_hot=self.config.one_hot_time)
+        return np.concatenate([hour, dow], axis=1)
+
+    def _encode_history(self, user: UserLog, examples: list[Example]) -> np.ndarray:
+        prediction_times = np.asarray([e.prediction_time for e in examples], dtype=np.int64)
+        contexts = None
+        if all(e.context is not None for e in examples):
+            contexts = [e.context for e in examples]
+        raw = self.aggregator.compute(user, prediction_times, contexts)
+        if not self._elapsed_columns:
+            return raw
+        blocks: list[np.ndarray] = []
+        elapsed_set = set(self._elapsed_columns)
+        for column in range(raw.shape[1]):
+            values = raw[:, column]
+            if column not in elapsed_set:
+                blocks.append(values.reshape(-1, 1))
+            elif self.config.one_hot_elapsed:
+                blocks.append(one_hot_buckets(values, n_buckets=self.config.elapsed_buckets))
+            else:
+                blocks.append(
+                    np.asarray(log_bucket(values, n_buckets=self.config.elapsed_buckets), dtype=np.float64).reshape(-1, 1)
+                )
+        return np.concatenate(blocks, axis=1)
+
+    # ------------------------------------------------------------------
+    def transform_user(self, user: UserLog, examples: list[Example]) -> np.ndarray:
+        """Feature matrix for one user's examples."""
+        if not examples:
+            return np.zeros((0, self.n_features), dtype=np.float64)
+        prediction_times = np.asarray([e.prediction_time for e in examples], dtype=np.int64)
+        blocks: list[np.ndarray] = []
+        if self.config.include_context:
+            blocks.append(self._encode_context(examples))
+        if self.config.include_time:
+            blocks.append(self._encode_time(prediction_times))
+        blocks.append(self._encode_history(user, examples))
+        matrix = np.concatenate(blocks, axis=1)
+        if matrix.shape[1] != self.n_features:
+            raise RuntimeError(
+                f"feature width mismatch: built {matrix.shape[1]} columns, expected {self.n_features}"
+            )
+        return matrix
+
+    def transform(self, dataset: Dataset, examples_by_user: dict[int, list[Example]]) -> TabularData:
+        """Feature matrix for a whole dataset's examples (grouped by user)."""
+        users_by_id = {user.user_id: user for user in dataset.users}
+        matrices: list[np.ndarray] = []
+        labels: list[np.ndarray] = []
+        user_ids: list[np.ndarray] = []
+        times: list[np.ndarray] = []
+        for user_id, examples in examples_by_user.items():
+            if user_id not in users_by_id:
+                raise KeyError(f"examples reference unknown user {user_id}")
+            if not examples:
+                continue
+            user = users_by_id[user_id]
+            matrices.append(self.transform_user(user, examples))
+            labels.append(np.asarray([e.label for e in examples], dtype=np.float64))
+            user_ids.append(np.full(len(examples), user_id, dtype=np.int64))
+            times.append(np.asarray([e.prediction_time for e in examples], dtype=np.int64))
+        if not matrices:
+            return TabularData(
+                X=np.zeros((0, self.n_features)),
+                y=np.zeros(0),
+                user_ids=np.zeros(0, dtype=np.int64),
+                prediction_times=np.zeros(0, dtype=np.int64),
+                feature_names=self.feature_names(),
+            )
+        return TabularData(
+            X=np.concatenate(matrices, axis=0),
+            y=np.concatenate(labels),
+            user_ids=np.concatenate(user_ids),
+            prediction_times=np.concatenate(times),
+            feature_names=self.feature_names(),
+        )

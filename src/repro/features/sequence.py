@@ -1,0 +1,169 @@
+"""Per-session feature vectors for the sequence (RNN) models (Section 6.1).
+
+The RNN eliminates the aggregation and elapsed-time feature engineering of
+Section 5.2; it only needs, for each session ``i``:
+
+* a fixed-length vector ``f_i`` built from the session context (one-hot
+  categorical fields, numeric fields) and the time-based features (hour of
+  day, day of week) — produced here;
+* the access flag ``A_i``;
+* the session timestamp ``t_i`` (from which the model derives the bucketed
+  ``Δt`` update input and the prediction-time gap ``t_i − t_k``).
+
+:class:`SequenceBuilder` produces one :class:`UserSequence` per user; the RNN
+model and trainer consume those directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.schema import ContextSchema, Dataset, UserLog
+from .bucketing import N_BUCKETS, log_bucket
+from .encoders import HASH_MODULO, HashingEncoder, OneHotEncoder, encode_day_of_week, encode_hour_of_day
+
+__all__ = ["UserSequence", "SequenceBuilder"]
+
+
+@dataclass
+class UserSequence:
+    """Model-ready representation of one user's access log."""
+
+    user_id: int
+    timestamps: np.ndarray
+    accesses: np.ndarray
+    features: np.ndarray
+    delta_buckets: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.timestamps.shape[0]
+        if not (self.accesses.shape[0] == self.features.shape[0] == self.delta_buckets.shape[0] == n):
+            raise ValueError("misaligned sequence arrays")
+
+    def __len__(self) -> int:
+        return int(self.timestamps.shape[0])
+
+    @property
+    def feature_dim(self) -> int:
+        return int(self.features.shape[1])
+
+    def slice(self, start: int, stop: int) -> "UserSequence":
+        """Sub-sequence (note: delta buckets are kept as originally computed)."""
+        return UserSequence(
+            user_id=self.user_id,
+            timestamps=self.timestamps[start:stop],
+            accesses=self.accesses[start:stop],
+            features=self.features[start:stop],
+            delta_buckets=self.delta_buckets[start:stop],
+        )
+
+    def truncate_last(self, max_sessions: int) -> "UserSequence":
+        """Keep the most recent ``max_sessions`` sessions (Section 7.1)."""
+        if max_sessions <= 0:
+            raise ValueError("max_sessions must be positive")
+        if len(self) <= max_sessions:
+            return self
+        return self.slice(len(self) - max_sessions, len(self))
+
+
+class SequenceBuilder:
+    """Builds :class:`UserSequence` objects from raw user logs."""
+
+    def __init__(
+        self,
+        schema: ContextSchema,
+        *,
+        include_time: bool = True,
+        max_one_hot_cardinality: int = 64,
+        hash_modulo: int = HASH_MODULO,
+        n_delta_buckets: int = N_BUCKETS,
+    ) -> None:
+        self.schema = schema
+        self.include_time = include_time
+        self.n_delta_buckets = n_delta_buckets
+        self._encoders: dict[str, OneHotEncoder | HashingEncoder | None] = {}
+        for field_def in schema:
+            if field_def.kind == "numeric":
+                self._encoders[field_def.name] = None
+            elif field_def.cardinality is not None and field_def.cardinality <= max_one_hot_cardinality:
+                self._encoders[field_def.name] = OneHotEncoder(field_def.cardinality)
+            else:
+                self._encoders[field_def.name] = HashingEncoder(hash_modulo)
+        self._feature_names = self._build_feature_names()
+
+    # ------------------------------------------------------------------
+    def _build_feature_names(self) -> list[str]:
+        names: list[str] = []
+        for field_def in self.schema:
+            encoder = self._encoders[field_def.name]
+            if encoder is None:
+                names.append(f"ctx.{field_def.name}")
+                names.append(f"ctx.log1p_{field_def.name}")
+            else:
+                names.extend(encoder.feature_names(f"ctx.{field_def.name}"))
+        if self.include_time:
+            names.extend(f"time.hour={h}" for h in range(24))
+            names.extend(f"time.dow={d}" for d in range(7))
+        return names
+
+    def feature_names(self) -> list[str]:
+        return list(self._feature_names)
+
+    @property
+    def feature_dim(self) -> int:
+        return len(self._feature_names)
+
+    # ------------------------------------------------------------------
+    def encode_context_rows(self, contexts: list[dict[str, float]], timestamps: np.ndarray) -> np.ndarray:
+        """Encode explicit context rows (used for serving single predictions)."""
+        n = len(contexts)
+        blocks: list[np.ndarray] = []
+        for field_def in self.schema:
+            encoder = self._encoders[field_def.name]
+            values = np.asarray([c[field_def.name] for c in contexts], dtype=np.float64)
+            if encoder is None:
+                blocks.append(values.reshape(-1, 1))
+                blocks.append(np.log1p(np.maximum(values, 0.0)).reshape(-1, 1))
+            else:
+                blocks.append(encoder.encode(values.astype(np.int64)))
+        if self.include_time:
+            blocks.append(encode_hour_of_day(timestamps, one_hot=True))
+            blocks.append(encode_day_of_week(timestamps, one_hot=True))
+        matrix = np.concatenate(blocks, axis=1) if blocks else np.zeros((n, 0))
+        if matrix.shape[1] != self.feature_dim:
+            raise RuntimeError("feature width mismatch in sequence encoding")
+        return matrix
+
+    def build_user(self, user: UserLog) -> UserSequence:
+        """Build the model-ready sequence for one user."""
+        n = len(user)
+        timestamps = user.timestamps.astype(np.int64)
+        contexts = [user.context_row(i) for i in range(n)]
+        features = (
+            self.encode_context_rows(contexts, timestamps) if n else np.zeros((0, self.feature_dim))
+        )
+        deltas = np.zeros(n, dtype=np.float64)
+        if n > 1:
+            deltas[1:] = np.diff(timestamps).astype(np.float64)
+        delta_buckets = np.asarray(log_bucket(deltas, n_buckets=self.n_delta_buckets), dtype=np.int64).reshape(-1)
+        if n == 0:
+            delta_buckets = np.zeros(0, dtype=np.int64)
+        return UserSequence(
+            user_id=user.user_id,
+            timestamps=timestamps,
+            accesses=user.accesses.astype(np.float64),
+            features=features,
+            delta_buckets=delta_buckets,
+        )
+
+    def build(self, dataset: Dataset, max_sessions: int | None = None) -> list[UserSequence]:
+        """Build sequences for every user in the dataset (optionally truncated)."""
+        sequences = []
+        for user in dataset.users:
+            sequence = self.build_user(user)
+            if max_sessions is not None:
+                sequence = sequence.truncate_last(max_sessions)
+            sequences.append(sequence)
+        return sequences

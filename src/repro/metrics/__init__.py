@@ -1,0 +1,27 @@
+"""Evaluation metrics: log loss, precision-recall analysis, bootstrap CIs."""
+
+from .bootstrap import BootstrapResult, bootstrap_ci, paired_bootstrap_delta
+from .classification import (
+    PRCurve,
+    log_loss,
+    pr_auc,
+    precision_at_recall,
+    precision_recall_curve,
+    recall_at_precision,
+    roc_auc,
+    threshold_for_precision,
+)
+
+__all__ = [
+    "PRCurve",
+    "log_loss",
+    "pr_auc",
+    "precision_at_recall",
+    "precision_recall_curve",
+    "recall_at_precision",
+    "roc_auc",
+    "threshold_for_precision",
+    "BootstrapResult",
+    "bootstrap_ci",
+    "paired_bootstrap_delta",
+]

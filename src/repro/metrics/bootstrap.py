@@ -1,0 +1,105 @@
+"""Bootstrap confidence intervals for evaluation metrics.
+
+The paper reports point estimates; for a reproduction on synthetic data it is
+useful to know how much of an observed gap between two models is noise.
+``bootstrap_ci`` resamples users (not individual sessions, since sessions of
+one user are highly correlated) and recomputes a metric on each resample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["BootstrapResult", "bootstrap_ci", "paired_bootstrap_delta"]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Point estimate plus a percentile confidence interval."""
+
+    point: float
+    low: float
+    high: float
+    n_resamples: int
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+
+def _group_indices(groups: np.ndarray) -> dict:
+    indices: dict = {}
+    for position, group in enumerate(groups):
+        indices.setdefault(group, []).append(position)
+    return {k: np.asarray(v, dtype=np.intp) for k, v in indices.items()}
+
+
+def bootstrap_ci(
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    y_true: Sequence[float],
+    y_score: Sequence[float],
+    groups: Sequence,
+    *,
+    n_resamples: int = 200,
+    alpha: float = 0.05,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Grouped (per-user) bootstrap confidence interval for ``metric``."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_score = np.asarray(y_score, dtype=np.float64)
+    groups = np.asarray(groups)
+    if not (len(y_true) == len(y_score) == len(groups)):
+        raise ValueError("y_true, y_score and groups must have equal length")
+    if n_resamples < 1:
+        raise ValueError("n_resamples must be >= 1")
+    rng = np.random.default_rng(seed)
+    by_group = _group_indices(groups)
+    group_keys = list(by_group)
+    point = float(metric(y_true, y_score))
+    samples = np.empty(n_resamples, dtype=np.float64)
+    for r in range(n_resamples):
+        chosen = rng.choice(len(group_keys), size=len(group_keys), replace=True)
+        idx = np.concatenate([by_group[group_keys[c]] for c in chosen])
+        try:
+            samples[r] = metric(y_true[idx], y_score[idx])
+        except ValueError:
+            # Degenerate resample (e.g. no positives); fall back to the point estimate.
+            samples[r] = point
+    low, high = np.quantile(samples, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return BootstrapResult(point=point, low=float(low), high=float(high), n_resamples=n_resamples)
+
+
+def paired_bootstrap_delta(
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    y_true: Sequence[float],
+    score_a: Sequence[float],
+    score_b: Sequence[float],
+    groups: Sequence,
+    *,
+    n_resamples: int = 200,
+    alpha: float = 0.05,
+    seed: int = 0,
+) -> BootstrapResult:
+    """Bootstrap CI for ``metric(A) - metric(B)`` evaluated on the same users."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    score_a = np.asarray(score_a, dtype=np.float64)
+    score_b = np.asarray(score_b, dtype=np.float64)
+    groups = np.asarray(groups)
+    if not (len(y_true) == len(score_a) == len(score_b) == len(groups)):
+        raise ValueError("all inputs must have equal length")
+    rng = np.random.default_rng(seed)
+    by_group = _group_indices(groups)
+    group_keys = list(by_group)
+    point = float(metric(y_true, score_a) - metric(y_true, score_b))
+    samples = np.empty(n_resamples, dtype=np.float64)
+    for r in range(n_resamples):
+        chosen = rng.choice(len(group_keys), size=len(group_keys), replace=True)
+        idx = np.concatenate([by_group[group_keys[c]] for c in chosen])
+        try:
+            samples[r] = metric(y_true[idx], score_a[idx]) - metric(y_true[idx], score_b[idx])
+        except ValueError:
+            samples[r] = point
+    low, high = np.quantile(samples, [alpha / 2.0, 1.0 - alpha / 2.0])
+    return BootstrapResult(point=point, low=float(low), high=float(high), n_resamples=n_resamples)

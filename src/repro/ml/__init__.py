@@ -1,0 +1,16 @@
+"""Classical machine-learning substrate: logistic regression, trees, GBDT."""
+
+from .binning import QuantileBinner
+from .gbdt import GBDTConfig, GradientBoostedTrees
+from .logistic import LogisticRegression, LogisticRegressionConfig
+from .tree import RegressionTree, TreeParams
+
+__all__ = [
+    "QuantileBinner",
+    "GBDTConfig",
+    "GradientBoostedTrees",
+    "LogisticRegression",
+    "LogisticRegressionConfig",
+    "RegressionTree",
+    "TreeParams",
+]

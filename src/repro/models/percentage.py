@@ -1,0 +1,82 @@
+"""Percentage-based baseline model (Section 5.1).
+
+The simplest baseline: return each user's historical access percentage,
+seeded with the global average access percentage α so that new users start
+at the population rate rather than at 0:
+
+    P(A_n) = (α + Σ_{i<n} A_i) / n
+
+For the timeshifted task the same formula is applied over past peak windows
+(one observation per day) instead of individual sessions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.schema import SECONDS_PER_DAY, Dataset
+from ..data.tasks import Example, peak_window_examples
+from .base import AccessProbabilityModel, TaskSpec, flatten_examples
+
+__all__ = ["PercentageModel"]
+
+
+class PercentageModel(AccessProbabilityModel):
+    """Per-user running access percentage with a global-prior seed."""
+
+    name = "percentage"
+
+    def __init__(self) -> None:
+        self.alpha_: float | None = None
+        self._task: TaskSpec | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, train: Dataset, task: TaskSpec) -> "PercentageModel":
+        """Estimate the global prior α from the training population."""
+        self._task = task
+        if task.kind == "session":
+            total_sessions = train.n_sessions
+            self.alpha_ = train.n_accesses / total_sessions if total_sessions else 0.0
+        else:
+            examples = peak_window_examples(train, lead_seconds=task.lead_seconds)
+            labels = [e.label for e in flatten_examples(examples)]
+            self.alpha_ = float(np.mean(labels)) if labels else 0.0
+        return self
+
+    # ------------------------------------------------------------------
+    def _session_score(self, dataset: Dataset, example: Example) -> float:
+        user = self._users[example.user_id]
+        n_prior = int(np.searchsorted(user.timestamps, example.prediction_time, side="left"))
+        prior_accesses = int(user.accesses[:n_prior].sum())
+        return (self.alpha_ + prior_accesses) / (n_prior + 1)
+
+    def _peak_score(self, prior_labels: np.ndarray, day_number: int) -> float:
+        return (self.alpha_ + float(prior_labels.sum())) / (day_number + 1)
+
+    def predict_examples(self, dataset: Dataset, examples_by_user: dict[int, list[Example]]) -> np.ndarray:
+        if self.alpha_ is None or self._task is None:
+            raise RuntimeError("model is not fitted")
+        self._users = {user.user_id: user for user in dataset.users}
+        flat = flatten_examples(examples_by_user)
+        scores = np.empty(len(flat), dtype=np.float64)
+
+        if self._task.kind == "session":
+            for i, example in enumerate(flat):
+                scores[i] = self._session_score(dataset, example)
+            return scores
+
+        # Timeshifted task: one observation per prior day.  Recompute the full
+        # per-day label history for each user so that examples evaluated on
+        # the final days can see all earlier days.
+        full_history = peak_window_examples(dataset, lead_seconds=self._task.lead_seconds)
+        labels_by_user: dict[int, np.ndarray] = {
+            user_id: np.asarray([e.label for e in examples], dtype=np.float64)
+            for user_id, examples in full_history.items()
+        }
+        for i, example in enumerate(flat):
+            if example.day_index is None:
+                raise ValueError("peak-task examples must carry a day index")
+            history = labels_by_user.get(example.user_id, np.zeros(0))
+            prior = history[: example.day_index]
+            scores[i] = self._peak_score(prior, example.day_index)
+        return scores

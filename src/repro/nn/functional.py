@@ -1,0 +1,102 @@
+"""Functional (stateless) neural-network operations.
+
+These mirror the small subset of ``torch.nn.functional`` used by the paper's
+model code (Figure 3): activations, dropout, and the binary log-loss
+objective described in Section 6.3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, as_tensor, concat, stack
+
+__all__ = [
+    "sigmoid",
+    "tanh",
+    "relu",
+    "dropout",
+    "binary_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "concat",
+    "stack",
+    "linear",
+]
+
+_EPS = 1e-12
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Element-wise logistic sigmoid."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Element-wise hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def relu(x: Tensor) -> Tensor:
+    """Element-wise rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map ``x @ weight.T + bias`` (PyTorch convention)."""
+    out = as_tensor(x) @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout.
+
+    During training each element is zeroed with probability ``p`` and the
+    survivors are scaled by ``1/(1-p)`` so the expected activation is
+    unchanged; at evaluation time the input passes through untouched.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    x = as_tensor(x)
+    if not training or p == 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def binary_cross_entropy(probabilities: Tensor, targets, weights=None) -> Tensor:
+    """Mean binary log loss between predicted probabilities and 0/1 targets.
+
+    This is the per-session log loss of Section 6.3:
+    ``-[A·log p + (1-A)·log(1-p)]`` averaged over all prediction/label pairs
+    (optionally weighted).
+    """
+    probabilities = as_tensor(probabilities)
+    clipped = probabilities.clip(_EPS, 1.0 - _EPS)
+    targets_t = as_tensor(np.asarray(targets, dtype=np.float64))
+    losses = -(targets_t * clipped.log() + (1.0 - targets_t) * (1.0 - clipped).log())
+    if weights is not None:
+        weights_arr = np.asarray(weights, dtype=np.float64)
+        total = float(weights_arr.sum())
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        return (losses * Tensor(weights_arr)).sum() * (1.0 / total)
+    return losses.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets, weights=None) -> Tensor:
+    """Numerically stable binary log loss computed from raw logits."""
+    logits = as_tensor(logits)
+    targets_t = as_tensor(np.asarray(targets, dtype=np.float64))
+    # log(1 + exp(-|z|)) + max(z, 0) - z*y  (stable softplus formulation)
+    abs_neg = (logits * -1.0).relu() + (logits.relu())  # |z|
+    softplus = ((abs_neg * -1.0).exp() + 1.0).log()
+    losses = logits.relu() - logits * targets_t + softplus
+    if weights is not None:
+        weights_arr = np.asarray(weights, dtype=np.float64)
+        total = float(weights_arr.sum())
+        if total <= 0:
+            raise ValueError("weights must sum to a positive value")
+        return (losses * Tensor(weights_arr)).sum() * (1.0 / total)
+    return losses.mean()

@@ -1,0 +1,49 @@
+"""Parameter initialisation schemes.
+
+The defaults mirror PyTorch's: linear layers use Kaiming-uniform fan-in
+initialisation with ``a=sqrt(5)`` (equivalent to the classic
+``U(-1/sqrt(fan_in), 1/sqrt(fan_in))`` bound used below), and recurrent cells
+use the same uniform bound computed from the hidden size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "uniform_fan_in",
+    "xavier_uniform",
+    "orthogonal",
+    "zeros",
+]
+
+
+def uniform_fan_in(shape: tuple[int, ...], fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """PyTorch-style uniform initialisation ``U(-1/sqrt(fan_in), +1/sqrt(fan_in))``."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    bound = 1.0 / np.sqrt(fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def xavier_uniform(shape: tuple[int, int], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation for a ``(fan_out, fan_in)`` matrix."""
+    fan_out, fan_in = shape
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def orthogonal(shape: tuple[int, int], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Orthogonal initialisation (useful for recurrent weight matrices)."""
+    rows, cols = shape
+    flat = rng.normal(size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(flat)
+    q *= np.sign(np.diag(r))
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (used for biases and initial hidden states)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,220 @@
+"""Neural-network module system (a minimal ``torch.nn`` replacement).
+
+Modules own named parameters (:class:`Parameter` tensors with
+``requires_grad=True``), can be nested, support ``train()``/``eval()`` mode
+switching (needed for dropout), and expose ``state_dict`` /
+``load_state_dict`` for serialization of trained models — which the serving
+layer relies on to "ship" a trained model into the simulated remote
+execution environment (Section 9 of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from . import functional as F
+from . import init
+from .tensor import Tensor
+
+__all__ = ["Parameter", "Module", "Linear", "Dropout", "ReLU", "Sequential", "MLP", "Identity"]
+
+
+class Parameter(Tensor):
+    """A tensor that is a learnable parameter of a :class:`Module`."""
+
+    def __init__(self, data) -> None:
+        super().__init__(data, requires_grad=True)
+
+
+class Module:
+    """Base class for all neural-network modules."""
+
+    def __init__(self) -> None:
+        self._parameters: "OrderedDict[str, Parameter]" = OrderedDict()
+        self._modules: "OrderedDict[str, Module]" = OrderedDict()
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Registration machinery
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", OrderedDict())[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", OrderedDict())[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, parameter: Parameter) -> None:
+        self._parameters[name] = parameter
+        object.__setattr__(self, name, parameter)
+
+    def add_module(self, name: str, module: "Module") -> None:
+        self._modules[name] = module
+        object.__setattr__(self, name, module)
+
+    # ------------------------------------------------------------------
+    # Parameter iteration / mode switching
+    # ------------------------------------------------------------------
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        for name, parameter in self._parameters.items():
+            yield (prefix + name, parameter)
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def parameters(self) -> list[Parameter]:
+        return [parameter for _, parameter in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters (used by the serving cost model)."""
+        return int(sum(parameter.size for parameter in self.parameters()))
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Return a flat mapping of parameter names to array copies."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameters in place; shapes must match exactly."""
+        own = dict(self.named_parameters())
+        missing = set(own) - set(state)
+        unexpected = set(state) - set(own)
+        if missing or unexpected:
+            raise KeyError(f"state dict mismatch: missing={sorted(missing)}, unexpected={sorted(unexpected)}")
+        for name, parameter in own.items():
+            value = np.asarray(state[name], dtype=np.float64)
+            if value.shape != parameter.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: expected {parameter.data.shape}, got {value.shape}"
+                )
+            parameter.data[...] = value
+
+    # ------------------------------------------------------------------
+    # Call protocol
+    # ------------------------------------------------------------------
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W^T + b`` (PyTorch ``nn.Linear`` convention)."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True, *, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("in_features and out_features must be positive")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.uniform_fan_in((out_features, in_features), in_features, rng))
+        if bias:
+            self.bias = Parameter(init.uniform_fan_in((out_features,), in_features, rng))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.linear(x, self.weight, self.bias)
+
+
+class Dropout(Module):
+    """Inverted dropout layer (active only in training mode)."""
+
+    def __init__(self, p: float = 0.5, *, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, self.training, self.rng)
+
+
+class ReLU(Module):
+    """Rectified linear unit layer."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.relu(x)
+
+
+class Identity(Module):
+    """No-op layer (useful as a configurable placeholder)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Sequential(Module):
+    """Chain of modules applied in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._sequence: list[Module] = []
+        for index, module in enumerate(modules):
+            self.add_module(str(index), module)
+            self._sequence.append(module)
+
+    def __len__(self) -> int:
+        return len(self._sequence)
+
+    def __iter__(self):
+        return iter(self._sequence)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self._sequence:
+            x = module(x)
+        return x
+
+
+class MLP(Module):
+    """Feed-forward multilayer perceptron with ReLU activations.
+
+    The paper's predictor head is a single 128-unit hidden layer with ReLU
+    and a 20% dropout in the middle (Sections 6.2 and 7); this class
+    generalises that to an arbitrary stack of hidden layers.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_sizes: tuple[int, ...],
+        out_features: int,
+        *,
+        dropout: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        layers: list[Module] = []
+        previous = in_features
+        for size in hidden_sizes:
+            layers.append(Linear(previous, size, rng=rng))
+            if dropout > 0.0:
+                layers.append(Dropout(dropout, rng=rng))
+            layers.append(ReLU())
+            previous = size
+        layers.append(Linear(previous, out_features, rng=rng))
+        self.layers = Sequential(*layers)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.layers(x)

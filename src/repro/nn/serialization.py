@@ -1,0 +1,55 @@
+"""Saving and loading module parameters.
+
+Trained models are stored as ``.npz`` archives mapping parameter names to
+arrays.  This stands in for the TorchScript export step of the paper's
+production deployment (Section 9): the serving layer loads a saved state
+dict into a freshly constructed module and runs it with ``no_grad``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from .modules import Module
+
+__all__ = ["save_state_dict", "load_state_dict", "save_module", "load_into_module"]
+
+_META_KEY = "__repro_meta__"
+
+
+def save_state_dict(state: dict[str, np.ndarray], path: str | Path, metadata: dict | None = None) -> None:
+    """Write a parameter-name → array mapping (plus optional JSON metadata) to ``path``."""
+    path = Path(path)
+    payload = dict(state)
+    if metadata is not None:
+        payload[_META_KEY] = np.frombuffer(json.dumps(metadata).encode("utf-8"), dtype=np.uint8)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_state_dict(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Load a state dict written by :func:`save_state_dict`.
+
+    Returns ``(state, metadata)``; metadata is ``{}`` when none was saved.
+    """
+    with np.load(Path(path)) as archive:
+        state = {name: archive[name] for name in archive.files if name != _META_KEY}
+        metadata: dict = {}
+        if _META_KEY in archive.files:
+            metadata = json.loads(bytes(archive[_META_KEY].tobytes()).decode("utf-8"))
+    return state, metadata
+
+
+def save_module(module: Module, path: str | Path, metadata: dict | None = None) -> None:
+    """Save ``module.state_dict()`` to ``path``."""
+    save_state_dict(module.state_dict(), path, metadata=metadata)
+
+
+def load_into_module(module: Module, path: str | Path) -> dict:
+    """Load parameters from ``path`` into an existing module; returns metadata."""
+    state, metadata = load_state_dict(path)
+    module.load_state_dict(state)
+    return metadata

@@ -1,0 +1,35 @@
+"""Serving substrate: KV store, stream processing, model services, cost model, online experiment."""
+
+from .cost import (
+    CostParameters,
+    ServingCostReport,
+    estimate_serving_costs,
+    gbdt_prediction_flops,
+    rnn_prediction_flops,
+)
+from .kvstore import KeyValueStore, KVStats
+from .online import OnlineArmResult, OnlineExperiment, OnlineExperimentReport
+from .quantization import dequantize_state, quantization_error, quantize_state
+from .services import AggregationFeatureService, HiddenStateService, ServingPrediction
+from .stream import StreamEvent, StreamProcessor
+
+__all__ = [
+    "CostParameters",
+    "ServingCostReport",
+    "estimate_serving_costs",
+    "gbdt_prediction_flops",
+    "rnn_prediction_flops",
+    "KeyValueStore",
+    "KVStats",
+    "OnlineArmResult",
+    "OnlineExperiment",
+    "OnlineExperimentReport",
+    "dequantize_state",
+    "quantization_error",
+    "quantize_state",
+    "AggregationFeatureService",
+    "HiddenStateService",
+    "ServingPrediction",
+    "StreamEvent",
+    "StreamProcessor",
+]

@@ -1,0 +1,127 @@
+"""In-process key-value store with cost accounting (the "Redis-like" store of Section 9).
+
+The production system stores each user's most recent RNN hidden state (a
+512-byte vector) — or, for the traditional models, the per-user aggregation
+state — in a real-time key-value store.  For the reproduction what matters is
+not the store's implementation but its *cost profile*: how many reads and
+writes each serving path issues and how many bytes it must keep per user.
+:class:`KeyValueStore` therefore tracks every operation and the size of every
+stored value so the serving cost model can report them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+__all__ = ["KVStats", "KeyValueStore"]
+
+
+@dataclass
+class KVStats:
+    """Operation counters for a key-value store."""
+
+    gets: int = 0
+    puts: int = 0
+    deletes: int = 0
+    hits: int = 0
+    misses: int = 0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "gets": self.gets,
+            "puts": self.puts,
+            "deletes": self.deletes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+        }
+
+
+def _estimate_size(value: Any) -> int:
+    """Approximate serialized size of a stored value in bytes."""
+    if value is None:
+        return 0
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode("utf-8"))
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, dict):
+        return sum(_estimate_size(k) + _estimate_size(v) for k, v in value.items())
+    if isinstance(value, (list, tuple)):
+        return sum(_estimate_size(v) for v in value)
+    return 64  # conservative default for unknown objects
+
+
+class KeyValueStore:
+    """Dictionary-backed KV store that meters reads, writes and storage."""
+
+    def __init__(self, name: str = "kv") -> None:
+        self.name = name
+        self._data: dict[str, Any] = {}
+        self._sizes: dict[str, int] = {}
+        self.stats = KVStats()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        self.stats.gets += 1
+        if key in self._data:
+            self.stats.hits += 1
+            self.stats.bytes_read += self._sizes[key]
+            return self._data[key]
+        self.stats.misses += 1
+        return default
+
+    def put(self, key: str, value: Any, size_bytes: int | None = None) -> None:
+        size = size_bytes if size_bytes is not None else _estimate_size(value)
+        self.stats.puts += 1
+        self.stats.bytes_written += size
+        self._data[key] = value
+        self._sizes[key] = size
+
+    def delete(self, key: str) -> bool:
+        self.stats.deletes += 1
+        if key in self._data:
+            del self._data[key]
+            del self._sizes[key]
+            return True
+        return False
+
+    def contains(self, key: str) -> bool:
+        return key in self._data
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._data.keys())
+
+    # ------------------------------------------------------------------
+    @property
+    def n_keys(self) -> int:
+        return len(self._data)
+
+    @property
+    def total_bytes(self) -> int:
+        """Current storage footprint across all keys."""
+        return int(sum(self._sizes.values()))
+
+    def bytes_for_prefix(self, prefix: str) -> int:
+        return int(sum(size for key, size in self._sizes.items() if key.startswith(prefix)))
+
+    def reset_stats(self) -> None:
+        self.stats = KVStats()

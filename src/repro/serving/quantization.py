@@ -1,0 +1,54 @@
+"""Hidden-state quantization (Section 9, "Relative production resources").
+
+The paper notes that the per-user hidden state offers fine-grained control
+over the storage footprint: the dimensionality can be reduced, and "neural
+network quantization methods can also be applied to store single bytes
+instead of floating-point numbers for each dimension".  This module provides
+the simple symmetric int8 scheme that claim refers to, plus a helper that
+reports the quality impact of round-tripping a batch of states.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["quantize_state", "dequantize_state", "quantization_error"]
+
+
+def quantize_state(state: np.ndarray) -> tuple[np.ndarray, float]:
+    """Symmetric int8 quantization of a hidden-state vector.
+
+    Returns ``(int8 array, scale)`` such that ``state ≈ int8 * scale``.
+    An all-zero state quantizes to scale 0.
+    """
+    state = np.asarray(state, dtype=np.float64)
+    peak = float(np.max(np.abs(state))) if state.size else 0.0
+    if peak == 0.0:
+        return np.zeros(state.shape, dtype=np.int8), 0.0
+    scale = peak / 127.0
+    quantized = np.clip(np.round(state / scale), -127, 127).astype(np.int8)
+    return quantized, scale
+
+
+def dequantize_state(quantized: np.ndarray, scale: float) -> np.ndarray:
+    """Inverse of :func:`quantize_state`."""
+    return np.asarray(quantized, dtype=np.float64) * float(scale)
+
+
+def quantization_error(states: np.ndarray) -> dict[str, float]:
+    """Round-trip error statistics for a batch of hidden states.
+
+    Returns the mean absolute error, max absolute error, and the storage
+    reduction factor (4x for float32 → int8).
+    """
+    states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+    errors = []
+    for row in states:
+        quantized, scale = quantize_state(row)
+        errors.append(np.abs(dequantize_state(quantized, scale) - row))
+    stacked = np.concatenate(errors) if errors else np.zeros(1)
+    return {
+        "mean_abs_error": float(stacked.mean()),
+        "max_abs_error": float(stacked.max()),
+        "storage_reduction": 4.0,
+    }

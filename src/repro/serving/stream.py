@@ -1,0 +1,93 @@
+"""Session-keyed stream processing (the "Kafka-like" pipeline of Section 9).
+
+In production, context variables are published to a stream at session start,
+access events are published with the same session id, and a timer equal to
+the session length joins the two once the session window closes — only then
+can the ground-truth access flag be known and the hidden state updated.
+:class:`StreamProcessor` reproduces that dataflow in process: events are
+buffered by key, timers fire in timestamp order when the simulated clock
+advances, and a join callback receives the buffered events for the session.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["StreamEvent", "StreamProcessor"]
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One event published to the stream."""
+
+    topic: str
+    key: str
+    timestamp: int
+    payload: dict[str, Any] = field(default_factory=dict)
+
+
+class StreamProcessor:
+    """Buffers events by key and fires registered timers in timestamp order."""
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, list[StreamEvent]] = {}
+        self._timers: list[tuple[int, int, str, Callable[[str, list[StreamEvent]], None]]] = []
+        self._counter = itertools.count()
+        self.clock: int = 0
+        self.events_published: int = 0
+        self.timers_fired: int = 0
+
+    # ------------------------------------------------------------------
+    def publish(self, event: StreamEvent) -> None:
+        """Append an event to its key's buffer."""
+        if event.timestamp < self.clock:
+            raise ValueError(
+                f"event at {event.timestamp} is earlier than the stream clock {self.clock}"
+            )
+        self._buffers.setdefault(event.key, []).append(event)
+        self.events_published += 1
+
+    def set_timer(self, fire_at: int, key: str, callback: Callable[[str, list[StreamEvent]], None]) -> None:
+        """Schedule ``callback(key, buffered_events)`` at ``fire_at``."""
+        if fire_at < self.clock:
+            raise ValueError(f"timer at {fire_at} is earlier than the stream clock {self.clock}")
+        heapq.heappush(self._timers, (fire_at, next(self._counter), key, callback))
+
+    # ------------------------------------------------------------------
+    def advance_to(self, timestamp: int) -> int:
+        """Advance the clock, firing every timer due at or before ``timestamp``.
+
+        Returns the number of timers fired.  Firing a timer drains the key's
+        buffer and passes the buffered events to the callback.
+        """
+        if timestamp < self.clock:
+            raise ValueError("the stream clock cannot move backwards")
+        fired = 0
+        while self._timers and self._timers[0][0] <= timestamp:
+            fire_at, _, key, callback = heapq.heappop(self._timers)
+            self.clock = fire_at
+            events = self._buffers.pop(key, [])
+            callback(key, events)
+            fired += 1
+            self.timers_fired += 1
+        self.clock = timestamp
+        return fired
+
+    def flush(self) -> int:
+        """Fire all remaining timers regardless of the clock."""
+        if not self._timers:
+            return 0
+        last = max(t[0] for t in self._timers)
+        return self.advance_to(last)
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_timers(self) -> int:
+        return len(self._timers)
+
+    @property
+    def buffered_keys(self) -> int:
+        return len(self._buffers)

@@ -1,0 +1,195 @@
+"""Precompute decision layer and serving substrate tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BudgetPolicy,
+    FixedThresholdPolicy,
+    PrecisionTargetPolicy,
+    plan_timeshift,
+    simulate_precompute,
+)
+from repro.data import make_dataset, user_split
+from repro.models import GBDTModel, PredictionResult, RNNModel, RNNModelConfig, TaskSpec
+from repro.serving import (
+    AggregationFeatureService,
+    HiddenStateService,
+    KeyValueStore,
+    OnlineExperiment,
+    StreamEvent,
+    StreamProcessor,
+    dequantize_state,
+    estimate_serving_costs,
+    quantization_error,
+    quantize_state,
+)
+
+
+def _result(labels, scores) -> PredictionResult:
+    n = len(labels)
+    return PredictionResult(
+        y_true=np.asarray(labels, dtype=float),
+        y_score=np.asarray(scores, dtype=float),
+        user_ids=np.zeros(n, dtype=np.int64),
+        prediction_times=np.arange(n, dtype=np.int64),
+    )
+
+
+class TestPolicies:
+    def test_fixed_threshold(self):
+        policy = FixedThresholdPolicy(0.5)
+        assert policy.decide([0.4, 0.5, 0.9]).tolist() == [False, True, True]
+        with pytest.raises(ValueError):
+            FixedThresholdPolicy(1.5)
+
+    def test_precision_target_policy_meets_constraint(self):
+        labels = np.array([1, 1, 0, 1, 0, 0, 0, 0])
+        scores = np.array([0.95, 0.9, 0.85, 0.8, 0.7, 0.3, 0.2, 0.1])
+        policy = PrecisionTargetPolicy(0.75).fit(labels, scores)
+        outcome = simulate_precompute(_result(labels, scores), policy)
+        assert outcome.precision >= 0.75
+        assert outcome.recall == pytest.approx(1.0)
+        with pytest.raises(RuntimeError):
+            PrecisionTargetPolicy(0.5).decide([0.3])
+
+    def test_budget_policy_limits_precompute_rate(self):
+        scores = np.linspace(0, 1, 100)
+        policy = BudgetPolicy(0.2).fit(scores)
+        outcome = simulate_precompute(_result(np.ones(100), scores), policy)
+        assert outcome.precompute_rate <= 0.25
+
+
+class TestOutcomeAccounting:
+    def test_counts_are_consistent(self):
+        labels = [1, 0, 1, 0, 1]
+        scores = [0.9, 0.8, 0.2, 0.1, 0.6]
+        outcome = simulate_precompute(_result(labels, scores), FixedThresholdPolicy(0.5))
+        assert outcome.n_precomputes == 3
+        assert outcome.successful_prefetches == 2
+        assert outcome.wasted_precomputes == 1
+        assert outcome.missed_accesses == 1
+        assert outcome.precision == pytest.approx(2 / 3)
+        assert outcome.recall == pytest.approx(2 / 3)
+
+    def test_timeshift_plan_capacity_accounting(self):
+        labels = [1, 1, 0, 0, 1]
+        scores = [0.9, 0.1, 0.8, 0.2, 0.7]
+        plan = plan_timeshift(_result(labels, scores), FixedThresholdPolicy(0.5))
+        assert plan.peak_compute_without == 3
+        assert plan.peak_compute_with == 1  # one access was not precomputed
+        assert plan.offpeak_compute == 3
+        assert plan.peak_reduction == pytest.approx(2 / 3)
+        assert plan.overhead_ratio == pytest.approx((1 + 3) / 3)
+
+
+class TestKVStoreAndStream:
+    def test_kv_store_counts_operations_and_bytes(self):
+        store = KeyValueStore()
+        assert store.get("missing") is None
+        store.put("a", np.zeros(4, dtype=np.float32))
+        store.put("b", {"x": 1.0})
+        assert store.get("a") is not None
+        assert store.n_keys == 2
+        assert store.stats.gets == 2 and store.stats.hits == 1 and store.stats.misses == 1
+        assert store.total_bytes >= 16
+        assert store.delete("a") and not store.delete("a")
+
+    def test_stream_fires_timers_in_order_with_buffered_events(self):
+        stream = StreamProcessor()
+        fired: list[tuple[str, int]] = []
+        stream.publish(StreamEvent("context", "s1", 100, {"v": 1}))
+        stream.publish(StreamEvent("access", "s1", 150, {"v": 2}))
+        stream.set_timer(300, "s1", lambda key, events: fired.append((key, len(events))))
+        stream.set_timer(200, "s2", lambda key, events: fired.append((key, len(events))))
+        assert stream.advance_to(250) == 1
+        assert fired == [("s2", 0)]
+        stream.flush()
+        assert fired == [("s2", 0), ("s1", 2)]
+        with pytest.raises(ValueError):
+            stream.publish(StreamEvent("late", "x", 10))
+
+    def test_quantization_round_trip_error_is_small(self):
+        rng = np.random.default_rng(0)
+        state = rng.normal(scale=0.5, size=128)
+        quantized, scale = quantize_state(state)
+        assert quantized.dtype == np.int8
+        restored = dequantize_state(quantized, scale)
+        assert np.max(np.abs(restored - state)) <= scale
+        report = quantization_error(rng.normal(size=(4, 64)))
+        assert report["storage_reduction"] == 4.0
+        assert report["mean_abs_error"] < 0.05
+
+
+@pytest.fixture(scope="module")
+def small_trained_models():
+    dataset = make_dataset("mobiletab", seed=13, n_users=40, n_days=14)
+    split = user_split(dataset, test_fraction=0.25, seed=0)
+    task = TaskSpec(kind="session", rnn_loss_days=10)
+    gbdt = GBDTModel(depths=(3,)).fit(split.train, task)
+    rnn = RNNModel(
+        RNNModelConfig(hidden_size=16, mlp_hidden=16, epochs=2, early_stopping_patience=None, seed=0)
+    ).fit(split.train, task)
+    return dataset, split, task, gbdt, rnn
+
+
+class TestServingServices:
+    def test_hidden_state_service_matches_offline_model(self, small_trained_models):
+        dataset, split, task, _, rnn = small_trained_models
+        store, stream = KeyValueStore(), StreamProcessor()
+        service = HiddenStateService(
+            rnn.network, rnn.builder, store, stream, session_length=dataset.session_length, extra_lag=60
+        )
+        user = max(split.test.users, key=len)
+        served = []
+        for index in range(len(user)):
+            timestamp = int(user.timestamps[index])
+            context = user.context_row(index)
+            stream.advance_to(timestamp)
+            served.append(service.predict(user.user_id, context, timestamp).probability)
+            service.observe_session(user.user_id, context, timestamp, bool(user.accesses[index]))
+        stream.flush()
+        assert service.updates_applied == len(user)
+        assert store.stats.puts == len(user)
+
+        # Offline (batch) predictions with the same update lag must agree.
+        examples = {user.user_id: TaskSpec(kind="session", eval_days=dataset.n_days).eval_examples(
+            dataset.subset([user.user_id])
+        )[user.user_id]}
+        offline = rnn.predict_examples(dataset.subset([user.user_id]), examples)
+        assert np.allclose(np.asarray(served), offline, atol=1e-8)
+
+    def test_aggregation_service_charges_twenty_lookups(self, small_trained_models):
+        dataset, split, task, gbdt, _ = small_trained_models
+        store = KeyValueStore()
+        service = AggregationFeatureService(gbdt.featurizer, gbdt.estimator, dataset.schema, store)
+        user = split.test.users[0]
+        timestamp = int(user.timestamps[0]) if len(user) else dataset.start_time
+        prediction = service.predict(user.user_id, user.context_row(0) if len(user) else {"unread_count": 0, "active_tab": 0}, timestamp)
+        assert prediction.kv_lookups == 20
+        service.observe_session(user.user_id, user.context_row(0) if len(user) else {"unread_count": 0, "active_tab": 0}, timestamp, True)
+        assert service.storage_bytes > 0
+
+    def test_cost_model_reports_rnn_cheaper_to_serve_but_heavier_to_run(self, small_trained_models):
+        dataset, split, task, gbdt, rnn = small_trained_models
+        reports = estimate_serving_costs(rnn.network, gbdt.estimator, gbdt.featurizer)
+        assert reports["gbdt"].kv_lookups_per_prediction == 20
+        assert reports["rnn"].kv_lookups_per_prediction == 1
+        assert reports["rnn"].model_flops_per_prediction > reports["gbdt"].model_flops_per_prediction
+        ratio = reports["gbdt"].total_cost_per_prediction / reports["rnn"].total_cost_per_prediction
+        assert ratio > 5.0
+
+    def test_online_experiment_produces_daily_series_and_outcomes(self, small_trained_models):
+        dataset, split, task, gbdt, rnn = small_trained_models
+        live = make_dataset("mobiletab", seed=99, n_users=15, n_days=14)
+        report = OnlineExperiment({"gbdt": gbdt, "rnn": rnn}, task=task, precision_target=0.5).run(
+            split.train, live
+        )
+        assert set(report.arms) == {"gbdt", "rnn"}
+        for arm in report.arms.values():
+            assert len(arm.daily_pr_auc) == live.n_days
+            assert arm.outcome.n_examples == live.n_sessions
+        uplift = report.successful_prefetch_uplift("rnn", "gbdt")
+        assert np.isfinite(uplift) or uplift == float("inf")

@@ -1,0 +1,66 @@
+"""Experiment registry tests (small scales so the suite stays fast)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    run_experiment,
+    run_fig1,
+    run_fig5,
+    run_table2,
+)
+
+
+def test_registry_contains_every_paper_artefact():
+    expected = {
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "fig1",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "online_prefetch",
+        "serving_cost",
+        "train_throughput",
+    }
+    assert expected == set(EXPERIMENTS)
+    with pytest.raises(KeyError):
+        run_experiment("table99")
+
+
+def test_table2_rows_and_formatting():
+    scale = {"mobiletab": {"n_users": 30, "n_days": 10}, "mpu": {"n_users": 8, "n_days": 7}}
+    result = run_table2(scale=scale, seed=0)
+    assert isinstance(result, ExperimentResult)
+    assert [row["dataset"] for row in result.rows] == ["mobiletab", "mpu"]
+    rendered = result.format_table()
+    assert "positive_rate" in rendered and "mobiletab" in rendered
+    row = result.row_for(dataset="mobiletab")
+    assert 0 < row["positive_rate"] < 1
+    assert result.column("users") == [30, 8]
+
+
+def test_fig1_cdf_reaches_one():
+    result = run_fig1(scale={"mobiletab": {"n_users": 25, "n_days": 10}}, seed=1, grid_points=11)
+    fractions = [row["fraction_of_users"] for row in result.rows]
+    assert fractions[-1] == pytest.approx(1.0)
+    assert all(0 <= f <= 1 for f in fractions)
+    assert len(result.rows) == 11
+
+
+def test_fig5_histogram_covers_all_users():
+    result = run_fig5(n_users=12, seed=2, bin_width=25)
+    assert sum(row["users"] for row in result.rows) == 12
+
+
+def test_row_for_raises_on_missing_match():
+    result = run_table2(scale={"mobiletab": {"n_users": 10, "n_days": 7}})
+    with pytest.raises(KeyError):
+        result.row_for(dataset="nope")

@@ -1,0 +1,119 @@
+"""Metric tests: PR curves against hand-computed values, properties, bootstrap."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    bootstrap_ci,
+    log_loss,
+    paired_bootstrap_delta,
+    pr_auc,
+    precision_at_recall,
+    precision_recall_curve,
+    recall_at_precision,
+    roc_auc,
+    threshold_for_precision,
+)
+
+
+def test_precision_recall_curve_hand_computed():
+    y_true = np.array([1, 0, 1, 0])
+    y_score = np.array([0.9, 0.8, 0.7, 0.1])
+    curve = precision_recall_curve(y_true, y_score)
+    assert np.allclose(curve.thresholds, [0.9, 0.8, 0.7, 0.1])
+    assert np.allclose(curve.precision, [1.0, 0.5, 2 / 3, 0.5])
+    assert np.allclose(curve.recall, [0.5, 0.5, 1.0, 1.0])
+    # Average precision: 0.5*1.0 + 0.5*(2/3)
+    assert pr_auc(y_true, y_score) == pytest.approx(0.5 + 0.5 * 2 / 3)
+
+
+def test_perfect_and_random_rankings():
+    y_true = np.array([0, 0, 1, 1])
+    assert pr_auc(y_true, np.array([0.1, 0.2, 0.8, 0.9])) == pytest.approx(1.0)
+    assert roc_auc(y_true, np.array([0.1, 0.2, 0.8, 0.9])) == pytest.approx(1.0)
+    constant = pr_auc(y_true, np.full(4, 0.5))
+    assert constant == pytest.approx(0.5)  # positive rate
+
+
+def test_recall_at_precision_and_threshold_selection():
+    y_true = np.array([1, 1, 0, 1, 0, 0, 0, 0])
+    y_score = np.array([0.95, 0.9, 0.85, 0.8, 0.7, 0.3, 0.2, 0.1])
+    assert recall_at_precision(y_true, y_score, 1.0) == pytest.approx(2 / 3)
+    assert recall_at_precision(y_true, y_score, 0.75) == pytest.approx(1.0)
+    assert recall_at_precision(y_true, y_score, 0.99999) == pytest.approx(2 / 3)
+    threshold = threshold_for_precision(y_true, y_score, 0.75)
+    decisions = y_score >= threshold
+    precision = (decisions & (y_true == 1)).sum() / decisions.sum()
+    assert precision >= 0.75
+    assert precision_at_recall(y_true, y_score, 1.0) == pytest.approx(0.75)
+
+
+def test_unachievable_precision_returns_zero_recall():
+    y_true = np.array([0, 0, 0, 1])
+    y_score = np.array([0.9, 0.8, 0.7, 0.1])
+    assert recall_at_precision(y_true, y_score, 0.9) == 0.0
+
+
+def test_log_loss_matches_manual_and_weights():
+    y = np.array([1, 0])
+    p = np.array([0.8, 0.4])
+    expected = -(np.log(0.8) + np.log(0.6)) / 2
+    assert log_loss(y, p) == pytest.approx(expected)
+    weighted = log_loss(y, p, sample_weight=np.array([1.0, 3.0]))
+    assert weighted == pytest.approx(-(np.log(0.8) + 3 * np.log(0.6)) / 4)
+
+
+def test_metric_input_validation():
+    with pytest.raises(ValueError):
+        pr_auc(np.array([0, 2]), np.array([0.5, 0.5]))
+    with pytest.raises(ValueError):
+        pr_auc(np.array([0, 0]), np.array([0.5, 0.5]))
+    with pytest.raises(ValueError):
+        log_loss(np.array([1]), np.array([np.nan]))
+    with pytest.raises(ValueError):
+        recall_at_precision(np.array([0, 1]), np.array([0.1, 0.9]), 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=5, max_value=60),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_pr_curve_properties_hold_for_random_inputs(n, seed):
+    rng = np.random.default_rng(seed)
+    y_true = rng.integers(0, 2, size=n)
+    if y_true.sum() == 0:
+        y_true[0] = 1
+    y_score = rng.random(n)
+    curve = precision_recall_curve(y_true, y_score)
+    assert np.all((curve.precision >= 0) & (curve.precision <= 1))
+    assert np.all((curve.recall >= 0) & (curve.recall <= 1))
+    assert np.all(np.diff(curve.recall) >= -1e-12)  # recall non-decreasing
+    area = pr_auc(y_true, y_score)
+    assert 0.0 <= area <= 1.0
+    # Recall at an achievable precision of 0+ must be full recall.
+    assert recall_at_precision(y_true, y_score, 1e-9) == pytest.approx(1.0)
+
+
+def test_bootstrap_ci_contains_point_and_shrinks_with_signal():
+    rng = np.random.default_rng(0)
+    groups = np.repeat(np.arange(30), 10)
+    y_true = rng.integers(0, 2, size=300)
+    y_true[:5] = 1
+    strong = np.where(y_true == 1, 0.9, 0.1) + rng.normal(0, 0.01, 300)
+    ci = bootstrap_ci(pr_auc, y_true, strong, groups, n_resamples=50, seed=1)
+    assert ci.low <= ci.point <= ci.high
+    assert ci.point > 0.9
+
+    delta = paired_bootstrap_delta(pr_auc, y_true, strong, rng.random(300), groups, n_resamples=50, seed=1)
+    assert delta.point > 0.2
+    assert delta.low <= delta.point <= delta.high
+
+
+def test_bootstrap_validates_lengths():
+    with pytest.raises(ValueError):
+        bootstrap_ci(pr_auc, [1, 0], [0.5], [0, 1])

@@ -1,0 +1,130 @@
+"""Module system, optimizers and serialization tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    MLP,
+    Adam,
+    Dropout,
+    GRUCell,
+    Linear,
+    ReLU,
+    SGD,
+    Sequential,
+    Tensor,
+    clip_grad_norm_,
+    load_into_module,
+    save_module,
+)
+from repro.nn import functional as F
+
+
+def test_linear_matches_manual_affine():
+    rng = np.random.default_rng(0)
+    layer = Linear(4, 3, rng=rng)
+    x = np.arange(8, dtype=float).reshape(2, 4)
+    out = layer(Tensor(x))
+    expected = x @ layer.weight.data.T + layer.bias.data
+    assert np.allclose(out.data, expected)
+
+
+def test_linear_rejects_bad_dimensions():
+    with pytest.raises(ValueError):
+        Linear(0, 3)
+
+
+def test_named_parameters_cover_nested_modules():
+    mlp = MLP(5, (8, 4), 1, dropout=0.1)
+    names = [name for name, _ in mlp.named_parameters()]
+    assert len(names) == 6  # three Linear layers, weight + bias each
+    assert all(name.startswith("layers.") for name in names)
+    assert mlp.num_parameters() == sum(p.size for p in mlp.parameters())
+
+
+def test_dropout_active_only_in_training_mode():
+    layer = Dropout(0.5, rng=np.random.default_rng(0))
+    x = Tensor(np.ones((200, 10)))
+    train_out = layer(x)
+    assert (train_out.data == 0).mean() == pytest.approx(0.5, abs=0.1)
+    layer.eval()
+    assert np.allclose(layer(x).data, 1.0)
+    with pytest.raises(ValueError):
+        Dropout(1.0)
+
+
+def test_train_eval_propagates_to_children():
+    model = Sequential(Linear(3, 3), Dropout(0.2), ReLU())
+    model.eval()
+    assert all(not module.training for module in model)
+    model.train()
+    assert all(module.training for module in model)
+
+
+def test_state_dict_roundtrip_and_mismatch_errors(tmp_path):
+    model = MLP(4, (6,), 1)
+    clone = MLP(4, (6,), 1, rng=np.random.default_rng(99))
+    state = model.state_dict()
+    clone.load_state_dict(state)
+    for (_, a), (_, b) in zip(model.named_parameters(), clone.named_parameters()):
+        assert np.allclose(a.data, b.data)
+
+    with pytest.raises(KeyError):
+        clone.load_state_dict({"bogus": np.zeros(3)})
+
+    path = tmp_path / "model.npz"
+    save_module(model, path, metadata={"kind": "mlp"})
+    fresh = MLP(4, (6,), 1, rng=np.random.default_rng(123))
+    metadata = load_into_module(fresh, path)
+    assert metadata == {"kind": "mlp"}
+    assert np.allclose(fresh.state_dict()["layers.0.weight"], state["layers.0.weight"])
+
+
+def _training_loss(optimizer_factory) -> float:
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(64, 6))
+    weights = rng.normal(size=6)
+    y = (x @ weights > 0).astype(float)
+    model = MLP(6, (16,), 1, rng=np.random.default_rng(0))
+    optimizer = optimizer_factory(model.parameters())
+    loss_value = np.inf
+    for _ in range(120):
+        model.zero_grad()
+        out = model(Tensor(x)).reshape(64)
+        loss = F.binary_cross_entropy_with_logits(out, y)
+        loss.backward()
+        optimizer.step()
+        loss_value = loss.item()
+    return loss_value
+
+
+def test_adam_and_sgd_reduce_training_loss():
+    assert _training_loss(lambda params: Adam(params, lr=5e-3)) < 0.3
+    assert _training_loss(lambda params: SGD(params, lr=0.5, momentum=0.9)) < 0.45
+
+
+def test_optimizer_rejects_empty_or_bad_configuration():
+    with pytest.raises(ValueError):
+        Adam([])
+    with pytest.raises(ValueError):
+        Adam(MLP(2, (2,), 1).parameters(), lr=-1.0)
+    with pytest.raises(ValueError):
+        SGD(MLP(2, (2,), 1).parameters(), momentum=1.5)
+
+
+def test_clip_grad_norm_scales_large_gradients():
+    layer = Linear(3, 3)
+    (layer(Tensor(np.full((8, 3), 10.0))) ** 2).sum().backward()
+    before = float(np.sqrt(sum((p.grad ** 2).sum() for p in layer.parameters())))
+    returned = clip_grad_norm_(layer.parameters(), max_norm=1.0)
+    after = float(np.sqrt(sum((p.grad ** 2).sum() for p in layer.parameters())))
+    assert returned == pytest.approx(before, rel=1e-9)
+    assert after == pytest.approx(1.0, rel=1e-6)
+
+
+def test_gru_cell_is_registered_as_submodule():
+    cell = GRUCell(4, 3)
+    names = dict(cell.named_parameters())
+    assert set(names) == {"weight_ih", "weight_hh", "bias_ih", "bias_hh"}

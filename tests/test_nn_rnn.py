@@ -1,0 +1,119 @@
+"""Recurrent cell tests: fused-vs-composed GRU equivalence and gradient checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import ElmanCell, GRUCell, LSTMCell, Tensor, make_cell
+from repro.nn.rnn import fused_gru_step
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=4),
+    input_size=st.integers(min_value=1, max_value=6),
+    hidden_size=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_fused_gru_matches_composed_forward_and_backward(batch, input_size, hidden_size, seed):
+    rng = np.random.default_rng(seed)
+    cell = GRUCell(input_size, hidden_size, rng=rng)
+    x_data = rng.normal(size=(batch, input_size))
+    h_data = rng.normal(size=(batch, hidden_size))
+
+    x1, h1 = Tensor(x_data, requires_grad=True), Tensor(h_data, requires_grad=True)
+    fused = cell(x1, h1)
+    (fused * fused).sum().backward()
+    fused_grads = {name: p.grad.copy() for name, p in cell.named_parameters()}
+    fused_x_grad, fused_h_grad = x1.grad.copy(), h1.grad.copy()
+
+    cell.zero_grad()
+    x2, h2 = Tensor(x_data, requires_grad=True), Tensor(h_data, requires_grad=True)
+    composed = cell.forward_composed(x2, h2)
+    (composed * composed).sum().backward()
+
+    assert np.allclose(fused.data, composed.data, atol=1e-12)
+    for name, parameter in cell.named_parameters():
+        assert np.allclose(fused_grads[name], parameter.grad, atol=1e-9), name
+    assert np.allclose(fused_x_grad, x2.grad, atol=1e-9)
+    assert np.allclose(fused_h_grad, h2.grad, atol=1e-9)
+
+
+@pytest.mark.parametrize("cell_cls", [GRUCell, LSTMCell, ElmanCell])
+def test_cell_parameter_gradients_match_finite_differences(cell_cls):
+    rng = np.random.default_rng(0)
+    cell = cell_cls(4, 3, rng=rng)
+    x = Tensor(rng.normal(size=(2, 4)))
+    h = Tensor(rng.normal(size=(2, cell.state_size)))
+
+    out = cell(x, h)
+    (out * out).sum().backward()
+
+    parameter = cell.weight_hh
+    i, j = 1, 2
+    eps = 1e-6
+    original = parameter.data[i, j]
+
+    def value() -> float:
+        return float((cell(Tensor(x.data), Tensor(h.data)).data ** 2).sum())
+
+    parameter.data[i, j] = original + eps
+    upper = value()
+    parameter.data[i, j] = original - eps
+    lower = value()
+    parameter.data[i, j] = original
+    assert parameter.grad[i, j] == pytest.approx((upper - lower) / (2 * eps), abs=1e-5)
+
+
+def test_lstm_state_is_packed_hidden_and_cell():
+    cell = LSTMCell(3, 5)
+    assert cell.state_size == 10
+    state = cell.initial_state(2)
+    assert state.shape == (2, 10)
+    new_state = cell(Tensor(np.ones((2, 3))), state)
+    hidden = cell.hidden_part(new_state)
+    assert hidden.shape == (2, 5)
+    # The hidden half must be tanh-bounded.
+    assert np.all(np.abs(hidden.data) <= 1.0)
+
+
+def test_initial_state_is_zero_and_batched():
+    cell = GRUCell(2, 4)
+    state = cell.initial_state(7)
+    assert state.shape == (7, 4)
+    assert np.allclose(state.data, 0.0)
+
+
+def test_make_cell_dispatch_and_errors():
+    assert isinstance(make_cell("gru", 3, 2), GRUCell)
+    assert isinstance(make_cell("LSTM", 3, 2), LSTMCell)
+    assert isinstance(make_cell("tanh", 3, 2), ElmanCell)
+    with pytest.raises(ValueError):
+        make_cell("transformer", 3, 2)
+    with pytest.raises(ValueError):
+        GRUCell(0, 2)
+
+
+def test_fused_gru_respects_no_grad_parents():
+    cell = GRUCell(3, 2)
+    out = fused_gru_step(
+        Tensor(np.ones((1, 3))),
+        Tensor(np.zeros((1, 2))),
+        Tensor(cell.weight_ih.data),
+        Tensor(cell.weight_hh.data),
+        Tensor(cell.bias_ih.data),
+        Tensor(cell.bias_hh.data),
+    )
+    assert not out.requires_grad
+
+
+def test_gru_hidden_state_stays_bounded_over_long_sequences():
+    rng = np.random.default_rng(2)
+    cell = GRUCell(4, 6, rng=rng)
+    state = cell.initial_state(3)
+    for _ in range(200):
+        state = cell(Tensor(rng.normal(size=(3, 4))), state)
+    assert np.all(np.abs(state.data) <= 1.0 + 1e-9)

@@ -1,0 +1,162 @@
+"""Autograd engine tests: gradients against finite differences, shape rules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack
+from repro.nn import functional as F
+
+
+def numeric_gradient(fn, array: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    out = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        upper = fn()
+        flat[i] = original - eps
+        lower = fn()
+        flat[i] = original
+        out[i] = (upper - lower) / (2 * eps)
+    return grad
+
+
+@pytest.mark.parametrize(
+    "expression",
+    [
+        lambda a, b: a + b,
+        lambda a, b: a - b,
+        lambda a, b: a * b,
+        lambda a, b: a / (b + 3.0),
+        lambda a, b: (a @ b.T),
+        lambda a, b: (a * 2.0 + b).tanh(),
+        lambda a, b: (a + b).sigmoid(),
+        lambda a, b: (a - b).relu(),
+        lambda a, b: (a.exp() + (b * b + 1.0).log()),
+        lambda a, b: concat([a, b], axis=1),
+        lambda a, b: a[:, :2] * b[:, 1:3],
+    ],
+)
+def test_binary_expression_gradients_match_finite_differences(expression):
+    rng = np.random.default_rng(0)
+    a_data = rng.normal(size=(3, 4))
+    b_data = rng.normal(size=(3, 4)) + 2.0
+    a = Tensor(a_data, requires_grad=True)
+    b = Tensor(b_data, requires_grad=True)
+    out = expression(a, b)
+    loss = (out * out).sum()
+    loss.backward()
+
+    def loss_value() -> float:
+        result = expression(Tensor(a_data), Tensor(b_data))
+        return float((result.data ** 2).sum())
+
+    assert np.allclose(a.grad, numeric_gradient(loss_value, a_data), atol=1e-5)
+    assert np.allclose(b.grad, numeric_gradient(loss_value, b_data), atol=1e-5)
+
+
+def test_broadcasting_gradients_are_unbroadcast():
+    a = Tensor(np.ones((4, 3)), requires_grad=True)
+    bias = Tensor(np.array([1.0, 2.0, 3.0]), requires_grad=True)
+    ((a + bias) * 2.0).sum().backward()
+    assert a.grad.shape == (4, 3)
+    assert bias.grad.shape == (3,)
+    assert np.allclose(bias.grad, np.full(3, 8.0))
+
+
+def test_sum_mean_reshape_transpose_gradients():
+    data = np.arange(12, dtype=float).reshape(3, 4)
+    x = Tensor(data, requires_grad=True)
+    out = x.sum(axis=0).mean() + x.reshape(4, 3).T.sum() + x.mean()
+    out.backward()
+    expected = 1.0 / 4.0 + 1.0 + 1.0 / 12.0
+    assert np.allclose(x.grad, expected)
+
+
+def test_stack_gradient_routes_to_each_parent():
+    parts = [Tensor(np.full((2, 2), float(i)), requires_grad=True) for i in range(3)]
+    stacked = stack(parts, axis=0)
+    (stacked * Tensor(np.arange(12, dtype=float).reshape(3, 2, 2))).sum().backward()
+    for i, part in enumerate(parts):
+        assert np.allclose(part.grad, np.arange(12, dtype=float).reshape(3, 2, 2)[i])
+
+
+def test_fancy_index_gradient_accumulates_duplicates():
+    x = Tensor(np.zeros((5, 2)), requires_grad=True)
+    rows = np.array([0, 0, 3])
+    x[rows].sum().backward()
+    assert np.allclose(x.grad[:, 0], [2.0, 0.0, 0.0, 1.0, 0.0])
+
+
+def test_backward_requires_scalar_or_explicit_grad():
+    x = Tensor(np.ones((2, 2)), requires_grad=True)
+    with pytest.raises(RuntimeError):
+        (x * 2.0).backward()
+    with pytest.raises(RuntimeError):
+        Tensor(np.ones(2)).backward()
+
+
+def test_no_grad_disables_graph_construction():
+    x = Tensor(np.ones(3), requires_grad=True)
+    with no_grad():
+        assert not is_grad_enabled()
+        out = x * 3.0
+    assert is_grad_enabled()
+    assert not out.requires_grad
+
+
+def test_grad_accumulates_across_backward_calls():
+    x = Tensor(np.ones(3), requires_grad=True)
+    (x * 2.0).sum().backward()
+    (x * 3.0).sum().backward()
+    assert np.allclose(x.grad, 5.0)
+    x.zero_grad()
+    assert x.grad is None
+
+
+def test_binary_cross_entropy_matches_manual_value():
+    probabilities = Tensor(np.array([0.9, 0.1, 0.5]), requires_grad=True)
+    labels = np.array([1.0, 0.0, 1.0])
+    loss = F.binary_cross_entropy(probabilities, labels)
+    expected = -(np.log(0.9) + np.log(0.9) + np.log(0.5)) / 3.0
+    assert loss.item() == pytest.approx(expected, rel=1e-9)
+    loss.backward()
+    assert probabilities.grad is not None
+
+
+def test_bce_with_logits_matches_probability_form():
+    rng = np.random.default_rng(1)
+    logits = rng.normal(size=10)
+    labels = (rng.random(10) > 0.5).astype(float)
+    from_logits = F.binary_cross_entropy_with_logits(Tensor(logits), labels)
+    from_probs = F.binary_cross_entropy(Tensor(logits).sigmoid(), labels)
+    assert from_logits.item() == pytest.approx(from_probs.item(), rel=1e-7)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    rows=st.integers(min_value=1, max_value=5),
+    cols=st.integers(min_value=1, max_value=5),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_sigmoid_output_range_and_gradient_sign(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(scale=5.0, size=(rows, cols))
+    x = Tensor(data, requires_grad=True)
+    out = x.sigmoid()
+    assert np.all(out.data > 0) and np.all(out.data < 1)
+    out.sum().backward()
+    assert np.all(x.grad >= 0)  # d(sigmoid)/dx is always positive
+
+
+def test_as_tensor_passthrough_and_wrapping():
+    t = Tensor([1.0, 2.0])
+    assert as_tensor(t) is t
+    wrapped = as_tensor([3.0, 4.0])
+    assert isinstance(wrapped, Tensor)
+    assert np.allclose(wrapped.data, [3.0, 4.0])
