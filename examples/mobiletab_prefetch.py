@@ -4,7 +4,7 @@ This is the paper's production scenario (Sections 3 and 9): at every
 application start, decide whether to prefetch the tab's content.  The example
 
 1. trains an RNN access model on one population,
-2. picks the decision threshold that targets 60% precision,
+2. picks the decision threshold from a 30% precompute budget,
 3. replays a live population through the hidden-state serving service
    (key-value store + stream processor), and
 4. reports prefetch outcomes and the serving cost footprint.
@@ -14,8 +14,8 @@ application start, decide whether to prefetch the tab's content.  The example
 
 from __future__ import annotations
 
-from repro.core import PrecisionTargetPolicy, simulate_precompute
-from repro.data import make_dataset, user_split
+from repro.core import BudgetPolicy
+from repro.data import make_dataset, sessions_in_time_order, user_split
 from repro.models import RNNModel, RNNModelConfig, TaskSpec
 from repro.serving import HiddenStateService, KeyValueStore, StreamProcessor
 
@@ -28,29 +28,33 @@ def main() -> None:
     # Train the RNN and calibrate the production threshold on training users.
     model = RNNModel(RNNModelConfig(seed=0)).fit(split.train, task)
     calibration = model.evaluate(split.train, task)
-    policy = PrecisionTargetPolicy(precision_target=0.6).fit(calibration.y_true, calibration.y_score)
-    print(f"decision threshold targeting 60% precision: {policy.threshold:.3f}")
+    # A 30% precompute budget: score quantiles transfer to the live
+    # population far more robustly than a precision-target threshold does at
+    # this synthetic scale, so the replay below actually triggers prefetches.
+    policy = BudgetPolicy(budget=0.3).fit(calibration.y_score)
+    print(f"decision threshold at a 30% precompute budget: {policy.threshold:.3f}")
 
     # Replay live users through the serving stack.
     store, stream = KeyValueStore(), StreamProcessor()
     service = HiddenStateService(
         model.network, model.builder, store, stream, session_length=dataset.session_length
     )
+    # Replay every session in global time order — the stream clock is
+    # monotone, so per-user iteration would move it backwards.
+    events = sessions_in_time_order(split.test.users)
     prefetches = successful = accesses = 0
-    for user in split.test.users:
-        for index in range(len(user)):
-            timestamp = int(user.timestamps[index])
-            context = user.context_row(index)
-            accessed = bool(user.accesses[index])
-            stream.advance_to(timestamp)
-            prediction = service.predict(user.user_id, context, timestamp)
-            triggered = prediction.probability >= policy.threshold
-            prefetches += int(triggered)
-            successful += int(triggered and accessed)
-            accesses += int(accessed)
-            # After the 20-minute session window, the stream join updates the
-            # stored hidden state with the observed access flag.
-            service.observe_session(user.user_id, context, timestamp, accessed)
+    for timestamp, user, index in events:
+        context = user.context_row(index)
+        accessed = bool(user.accesses[index])
+        stream.advance_to(timestamp)
+        prediction = service.predict(user.user_id, context, timestamp)
+        triggered = prediction.probability >= policy.threshold
+        prefetches += int(triggered)
+        successful += int(triggered and accessed)
+        accesses += int(accessed)
+        # After the 20-minute session window, the stream join updates the
+        # stored hidden state with the observed access flag.
+        service.observe_session(user.user_id, context, timestamp, accessed)
     stream.flush()
 
     precision = successful / prefetches if prefetches else 0.0

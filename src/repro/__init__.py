@@ -32,6 +32,6 @@ Quickstart::
     print(pr_auc(result.y_true, result.y_score))
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = ["__version__"]

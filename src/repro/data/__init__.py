@@ -13,6 +13,7 @@ from .schema import (
     UserLog,
     day_of_week,
     hour_of_day,
+    sessions_in_time_order,
 )
 from .splits import TrainTestSplit, k_fold_splits, user_split, validation_split
 from .stats import (
@@ -48,6 +49,7 @@ __all__ = [
     "UserLog",
     "day_of_week",
     "hour_of_day",
+    "sessions_in_time_order",
     "TrainTestSplit",
     "k_fold_splits",
     "user_split",

@@ -33,6 +33,7 @@ __all__ = [
     "Dataset",
     "hour_of_day",
     "day_of_week",
+    "sessions_in_time_order",
 ]
 
 SECONDS_PER_HOUR = 3600
@@ -259,3 +260,21 @@ class Dataset:
             "sessions": float(self.n_sessions),
             "users": float(self.n_users),
         }
+
+
+def sessions_in_time_order(users: Sequence[UserLog]) -> list[tuple[int, UserLog, int]]:
+    """Every session of every user as ``(timestamp, user, index)``, time-ordered.
+
+    Serving replays must consume sessions in global time order — the
+    :class:`~repro.serving.stream.StreamProcessor` clock is monotone, so
+    iterating user by user would move it backwards and raise.  Ties keep the
+    users' listing order (the sort is stable).
+    """
+    return sorted(
+        (
+            (int(user.timestamps[index]), user, index)
+            for user in users
+            for index in range(len(user))
+        ),
+        key=lambda event: event[0],
+    )

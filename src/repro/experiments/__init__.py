@@ -9,7 +9,7 @@ the experiment id (``"table3"``, ``"fig7"``, ...) to its callable, and
 
 from .comparison import ComparisonConfig, ComparisonOutput, cached_comparison, run_comparison
 from .figures import run_fig1, run_fig4, run_fig5, run_fig6, run_fig7
-from .production import run_online_prefetch, run_serving_cost, run_training_throughput
+from .production import run_batched_serving, run_online_prefetch, run_serving_cost, run_training_throughput
 from .results import ExperimentResult
 from .tables import run_table2, run_table3, run_table4, run_table5
 
@@ -28,6 +28,7 @@ __all__ = [
     "run_fig5",
     "run_fig6",
     "run_fig7",
+    "run_batched_serving",
     "run_online_prefetch",
     "run_serving_cost",
     "run_training_throughput",
@@ -47,6 +48,7 @@ EXPERIMENTS = {
     "fig7": run_fig7,
     "online_prefetch": run_online_prefetch,
     "serving_cost": run_serving_cost,
+    "batched_serving": run_batched_serving,
     "train_throughput": run_training_throughput,
 }
 

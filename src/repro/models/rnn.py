@@ -26,7 +26,7 @@ import numpy as np
 
 from .. import nn
 from ..nn import functional as F
-from ..nn.rnn import LSTMCell, make_cell
+from ..nn.rnn import make_cell
 
 __all__ = ["RNNNetworkConfig", "RNNPrecomputeNetwork", "encode_delta_buckets", "PredictionSpec", "build_prediction_spec"]
 
@@ -106,9 +106,7 @@ class RNNPrecomputeNetwork(nn.Module):
         return self.cell(update_inputs, state)
 
     def _hidden_part(self, state: nn.Tensor) -> nn.Tensor:
-        if isinstance(self.cell, LSTMCell):
-            return self.cell.hidden_part(state)
-        return state
+        return self.cell.hidden_slice(state)
 
     def predict_logits(self, state: nn.Tensor, predict_inputs: nn.Tensor) -> nn.Tensor:
         """``RNN_predict``: logits of ``P(A)`` from ``h_k`` and the prediction inputs."""
@@ -121,6 +119,45 @@ class RNNPrecomputeNetwork(nn.Module):
 
     def predict_proba(self, state: nn.Tensor, predict_inputs: nn.Tensor) -> nn.Tensor:
         return self.predict_logits(state, predict_inputs).sigmoid()
+
+    # ------------------------------------------------------------------
+    # Batched eval-time inference (plain NumPy; the serving hot path).
+    # ------------------------------------------------------------------
+    def update_hidden_batch(self, states: np.ndarray, update_inputs: np.ndarray) -> np.ndarray:
+        """Vectorized ``RNN_update`` over ``[B, state]`` / ``[B, input]`` stacks.
+
+        Same arithmetic as :meth:`update_hidden` (to floating-point identity)
+        but without autograd bookkeeping; serving uses it to advance many
+        users' hidden states with a single set of matmuls.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        update_inputs = np.asarray(update_inputs, dtype=np.float64)
+        return nn.inference.cell_step(self.cell, update_inputs, states)
+
+    def predict_logits_batch(self, states: np.ndarray, predict_inputs: np.ndarray) -> np.ndarray:
+        """Vectorized eval-time ``RNN_predict`` logits over stacked states.
+
+        Dropout is an identity at evaluation; serving always runs frozen
+        networks, so this path refuses to emulate training-mode stochasticity.
+        """
+        if self.training and self.config.dropout > 0.0:
+            raise RuntimeError("batched inference requires the network to be in eval() mode")
+        states = np.asarray(states, dtype=np.float64)
+        predict_inputs = np.asarray(predict_inputs, dtype=np.float64)
+        hidden = self.cell.hidden_slice(states)
+        if self.latent is not None:
+            hidden = hidden * (
+                nn.inference.linear(predict_inputs, self.latent.weight.data, self.latent.bias.data) + 1.0
+            )
+        mlp_input = np.concatenate([hidden, predict_inputs], axis=1)
+        activated = nn.inference.relu(
+            nn.inference.linear(mlp_input, self.w1.weight.data, self.w1.bias.data)
+        )
+        return nn.inference.linear(activated, self.w2.weight.data, self.w2.bias.data)
+
+    def predict_proba_batch(self, states: np.ndarray, predict_inputs: np.ndarray) -> np.ndarray:
+        """Vectorized eval-time ``P(A)`` as a flat ``[B]`` probability array."""
+        return nn.inference.sigmoid(self.predict_logits_batch(states, predict_inputs)).reshape(-1)
 
     # ------------------------------------------------------------------
     # Input assembly helpers (plain NumPy; no gradients flow through these).

@@ -8,7 +8,7 @@ and 7: a reverse-mode autograd engine (:mod:`repro.nn.tensor`), layer modules
 (:mod:`repro.nn.serialization`).
 """
 
-from . import functional
+from . import functional, inference
 from .modules import MLP, Dropout, Identity, Linear, Module, Parameter, ReLU, Sequential
 from .optim import SGD, Adam, Optimizer, clip_grad_norm_
 from .rnn import ElmanCell, GRUCell, LSTMCell, RecurrentCell, make_cell
@@ -17,6 +17,7 @@ from .tensor import Tensor, as_tensor, concat, is_grad_enabled, no_grad, stack
 
 __all__ = [
     "functional",
+    "inference",
     "Tensor",
     "as_tensor",
     "concat",

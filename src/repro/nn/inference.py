@@ -1,0 +1,140 @@
+"""Batched eval-time inference kernels (plain NumPy, no autograd).
+
+The serving layer's hot path is a forward pass over a *stack* of per-user
+hidden states — no gradients, no graph.  Routing that through
+:class:`~repro.nn.tensor.Tensor` would allocate an autograd node per
+operation per request, which is exactly the Python overhead the paper's
+production system avoids by batching.  These kernels compute the same
+functions as the module/autograd implementations (same operation order, so
+results agree to floating-point identity on identical inputs) but operate
+directly on ``np.ndarray`` stacks of shape ``[batch, dim]``.
+
+Only the *evaluation-time* forward is provided: dropout is an identity at
+inference, and serving always runs frozen (``eval()``-mode) networks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "linear",
+    "relu",
+    "sigmoid",
+    "stable_sigmoid",
+    "gru_step",
+    "lstm_step",
+    "elman_step",
+    "cell_step",
+]
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Affine map ``x @ weight.T + bias`` (PyTorch convention)."""
+    out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit, matching ``Tensor.relu`` (``x * (x > 0)``)."""
+    return x * (x > 0)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable sigmoid, matching ``Tensor.sigmoid`` exactly."""
+    return np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(x, -500, 500))),
+        np.exp(np.clip(x, -500, 500)) / (1.0 + np.exp(np.clip(x, -500, 500))),
+    )
+
+
+def stable_sigmoid(z: np.ndarray) -> np.ndarray:
+    """Branch-masked stable sigmoid — the fused GRU step's gate function.
+
+    Delegates to the single implementation in :mod:`repro.nn.rnn` so the
+    bit-identity between the batched and autograd GRU paths cannot drift.
+    """
+    from .rnn import _stable_sigmoid
+
+    return _stable_sigmoid(z)
+
+
+def gru_step(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    weight_ih: np.ndarray,
+    weight_hh: np.ndarray,
+    bias_ih: np.ndarray,
+    bias_hh: np.ndarray,
+) -> np.ndarray:
+    """One batched GRU step over ``[B, input]`` / ``[B, hidden]`` stacks.
+
+    Identical arithmetic to :func:`repro.nn.rnn.fused_gru_step`'s forward
+    pass (PyTorch gate convention), minus the autograd bookkeeping.
+    """
+    hidden = h_prev.shape[1]
+    gates_i = x @ weight_ih.T + bias_ih
+    gates_h = h_prev @ weight_hh.T + bias_hh
+    reset = stable_sigmoid(gates_i[:, :hidden] + gates_h[:, :hidden])
+    update = stable_sigmoid(gates_i[:, hidden : 2 * hidden] + gates_h[:, hidden : 2 * hidden])
+    candidate = np.tanh(gates_i[:, 2 * hidden :] + reset * gates_h[:, 2 * hidden :])
+    return (1.0 - update) * candidate + update * h_prev
+
+
+def lstm_step(
+    x: np.ndarray,
+    state: np.ndarray,
+    weight_ih: np.ndarray,
+    weight_hh: np.ndarray,
+    bias_ih: np.ndarray,
+    bias_hh: np.ndarray,
+) -> np.ndarray:
+    """One batched LSTM step over the packed ``[B, 2*hidden]`` state."""
+    hidden = state.shape[1] // 2
+    h_prev = state[:, :hidden]
+    c_prev = state[:, hidden:]
+    gates = linear(x, weight_ih, bias_ih) + linear(h_prev, weight_hh, bias_hh)
+    i_gate = sigmoid(gates[:, :hidden])
+    f_gate = sigmoid(gates[:, hidden : 2 * hidden])
+    g_gate = np.tanh(gates[:, 2 * hidden : 3 * hidden])
+    o_gate = sigmoid(gates[:, 3 * hidden :])
+    c_new = f_gate * c_prev + i_gate * g_gate
+    h_new = o_gate * np.tanh(c_new)
+    return np.concatenate([h_new, c_new], axis=1)
+
+
+def elman_step(
+    x: np.ndarray,
+    h_prev: np.ndarray,
+    weight_ih: np.ndarray,
+    weight_hh: np.ndarray,
+    bias: np.ndarray,
+) -> np.ndarray:
+    """One batched tanh (Elman) step."""
+    return np.tanh(linear(x, weight_ih, bias) + h_prev @ weight_hh.T)
+
+
+def cell_step(cell, x: np.ndarray, state: np.ndarray) -> np.ndarray:
+    """Dispatch one batched inference step for any registered recurrent cell.
+
+    ``cell`` is a :class:`~repro.nn.rnn.RecurrentCell` instance; the kernels
+    read its parameter arrays directly.
+    """
+    from .rnn import ElmanCell, GRUCell, LSTMCell
+
+    x = np.asarray(x, dtype=np.float64)
+    state = np.asarray(state, dtype=np.float64)
+    if isinstance(cell, GRUCell):
+        return gru_step(
+            x, state, cell.weight_ih.data, cell.weight_hh.data, cell.bias_ih.data, cell.bias_hh.data
+        )
+    if isinstance(cell, LSTMCell):
+        return lstm_step(
+            x, state, cell.weight_ih.data, cell.weight_hh.data, cell.bias_ih.data, cell.bias_hh.data
+        )
+    if isinstance(cell, ElmanCell):
+        return elman_step(x, state, cell.weight_ih.data, cell.weight_hh.data, cell.bias.data)
+    raise TypeError(f"no inference kernel for cell type {type(cell).__name__}")

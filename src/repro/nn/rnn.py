@@ -38,6 +38,16 @@ class RecurrentCell(Module):
         """Width of the serialized hidden state (2*hidden for LSTM)."""
         return self.hidden_size
 
+    def hidden_slice(self, states):
+        """The predictor-visible ``h`` part of a batched state stack.
+
+        Works on NumPy arrays and Tensors alike (plain column slicing).
+        Cells with packed state (LSTM's ``[h; c]``) override this; it is the
+        single source of truth for the state layout on both the autograd and
+        batched serving paths.
+        """
+        return states
+
     def forward(self, inputs: Tensor, state: Tensor) -> Tensor:  # pragma: no cover - abstract
         raise NotImplementedError
 
@@ -198,7 +208,10 @@ class LSTMCell(RecurrentCell):
 
     def hidden_part(self, state: Tensor) -> Tensor:
         """Extract the ``h`` half of the packed state (fed to the predictor)."""
-        return state[:, : self.hidden_size]
+        return self.hidden_slice(state)
+
+    def hidden_slice(self, states):
+        return states[:, : self.hidden_size]
 
 
 class ElmanCell(RecurrentCell):

@@ -1,23 +1,38 @@
-"""Serving substrate: KV store, stream processing, model services, cost model, online experiment."""
+"""Serving substrate: KV store, sharded router, stream processing, batched engine, cost model."""
 
+from .batching import (
+    BatchedAggregationBackend,
+    BatchedHiddenStateBackend,
+    MicroBatchQueue,
+    ServingRequest,
+    SessionUpdate,
+)
 from .cost import (
     CostParameters,
     ServingCostReport,
     estimate_serving_costs,
     gbdt_prediction_flops,
+    kv_traffic_cost,
     rnn_prediction_flops,
 )
 from .kvstore import KeyValueStore, KVStats
 from .online import OnlineArmResult, OnlineExperiment, OnlineExperimentReport
 from .quantization import dequantize_state, quantization_error, quantize_state
+from .router import ConsistentHashRing, ShardedKeyValueStore
 from .services import AggregationFeatureService, HiddenStateService, ServingPrediction
 from .stream import StreamEvent, StreamProcessor
 
 __all__ = [
+    "BatchedAggregationBackend",
+    "BatchedHiddenStateBackend",
+    "MicroBatchQueue",
+    "ServingRequest",
+    "SessionUpdate",
     "CostParameters",
     "ServingCostReport",
     "estimate_serving_costs",
     "gbdt_prediction_flops",
+    "kv_traffic_cost",
     "rnn_prediction_flops",
     "KeyValueStore",
     "KVStats",
@@ -27,6 +42,8 @@ __all__ = [
     "dequantize_state",
     "quantization_error",
     "quantize_state",
+    "ConsistentHashRing",
+    "ShardedKeyValueStore",
     "AggregationFeatureService",
     "HiddenStateService",
     "ServingPrediction",

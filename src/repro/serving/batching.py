@@ -1,0 +1,510 @@
+"""Micro-batched serving engine (the scale path for Section 9's dataflows).
+
+The seed serving services score strictly one request at a time: every
+prediction pays the full Python cost of context encoding, input assembly and
+an autograd-graph forward for a single row.  At production traffic the
+standard lever is *micro-batching* — coalesce concurrent requests into one
+``[B, hidden]`` stack and amortise all of that over a single set of matmuls
+(see :mod:`repro.nn.inference`).
+
+Three pieces:
+
+* :class:`ServingRequest` — one queued prediction request.
+* Batched backends (:class:`BatchedHiddenStateBackend`,
+  :class:`BatchedAggregationBackend`) — vectorized implementations of the two
+  serving dataflows.  They meter exactly the same per-request KV traffic as
+  the single-request path (one state fetch per request for the RNN path, one
+  fetch per aggregation group for the traditional path), so the cost
+  accounting is unchanged by batching.
+* :class:`MicroBatchQueue` — the request queue.  It flushes when
+  ``max_batch_size`` requests have coalesced, on demand, or — crucially for
+  equivalence — *before the stream clock crosses a pending timer*, because a
+  timer may rewrite a hidden state a queued request must read pre-update.
+  With ``max_batch_size=1`` it degenerates to the seed's single-request
+  behaviour, which is how the public services wrap it.
+
+Equivalence with the single-request path (same probabilities, same
+precompute decisions, same KV traffic) is enforced by
+``tests/test_serving_batching.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.schema import ContextSchema, UserLog
+from ..data.tasks import Example
+from ..features.bucketing import log_bucket
+from ..features.pipeline import TabularFeaturizer
+from ..features.sequence import SequenceBuilder
+from ..models.rnn import RNNPrecomputeNetwork
+from .quantization import dequantize_state, quantize_state
+from .stream import StreamEvent, StreamProcessor
+
+__all__ = [
+    "ServingRequest",
+    "ServingPrediction",
+    "SessionUpdate",
+    "BatchedHiddenStateBackend",
+    "BatchedAggregationBackend",
+    "MicroBatchQueue",
+]
+
+
+@dataclass(frozen=True)
+class ServingPrediction:
+    """One served prediction with its operational cost footprint."""
+
+    user_id: int
+    timestamp: int
+    probability: float
+    kv_lookups: int
+    bytes_fetched: int
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """One queued prediction request (session start)."""
+
+    user_id: int
+    context: dict[str, float] | None
+    timestamp: int
+
+
+@dataclass(frozen=True)
+class SessionUpdate:
+    """One session-end observation ready to be applied to stored state."""
+
+    user_id: int
+    timestamp: int
+    context: dict[str, float]
+    accessed: bool
+
+
+class BatchedHiddenStateBackend:
+    """Vectorized hidden-state dataflow: fetch B states, one batched forward.
+
+    Each request still pays one KV fetch for its user's state record (that is
+    the real per-request serving cost and is preserved exactly), but gap
+    bucketing, context encoding, input assembly and the MLP head all run once
+    over the stacked ``[B, ·]`` matrices via the eval-time NumPy kernels.
+
+    Construction freezes the network (``eval()``): serving deploys trained
+    weights, and a training-mode network would make served probabilities
+    stochastic through dropout.
+    """
+
+    def __init__(
+        self,
+        network: RNNPrecomputeNetwork,
+        builder: SequenceBuilder,
+        store,
+        stream: StreamProcessor,
+        session_length: int,
+        *,
+        quantize: bool = False,
+        extra_lag: int = 60,
+    ) -> None:
+        network.eval()
+        self.network = network
+        self.builder = builder
+        self.store = store
+        self.stream = stream
+        self.session_length = session_length
+        self.quantize = quantize
+        self.extra_lag = extra_lag
+        self.predictions_served = 0
+        self.updates_applied = 0
+
+    # ------------------------------------------------------------------
+    # State records
+    # ------------------------------------------------------------------
+    def _state_key(self, user_id: int) -> str:
+        return f"hidden:{user_id}"
+
+    def _load_state(self, user_id: int) -> tuple[np.ndarray, int | None, int]:
+        """Return (state vector, last update timestamp, bytes fetched)."""
+        record = self.store.get(self._state_key(user_id))
+        if record is None:
+            return np.zeros(self.network.state_size), None, 0
+        stored = record["state"]
+        size = int(stored.nbytes) + 8
+        if self.quantize:
+            stored = dequantize_state(stored, record["scale"])
+        return stored, record["timestamp"], size
+
+    def _save_state(self, user_id: int, state: np.ndarray, timestamp: int) -> None:
+        if self.quantize:
+            quantized, scale = quantize_state(state)
+            record = {"state": quantized, "timestamp": timestamp, "scale": scale}
+            size = int(quantized.nbytes) + 16
+        else:
+            record = {"state": state.astype(np.float32), "timestamp": timestamp}
+            size = int(state.astype(np.float32).nbytes) + 8
+        self.store.put(self._state_key(user_id), record, size_bytes=size)
+
+    # ------------------------------------------------------------------
+    # Prediction hot path
+    # ------------------------------------------------------------------
+    def predict_batch(self, requests: list[ServingRequest]) -> list[ServingPrediction]:
+        if not requests:
+            return []
+        config = self.network.config
+        states = np.empty((len(requests), self.network.state_size))
+        gaps = np.zeros(len(requests))
+        fetched = np.zeros(len(requests), dtype=np.int64)
+        for row, request in enumerate(requests):
+            state, last_timestamp, size = self._load_state(request.user_id)
+            states[row] = state
+            fetched[row] = size
+            if last_timestamp is not None:
+                gaps[row] = max(float(request.timestamp - last_timestamp), 0.0)
+        gap_buckets = np.asarray(log_bucket(gaps, n_buckets=config.n_delta_buckets)).reshape(-1)
+        if config.predict_uses_context:
+            timestamps = np.asarray([request.timestamp for request in requests], dtype=np.int64)
+            features = self.builder.encode_context_rows(
+                [request.context or {} for request in requests], timestamps
+            )
+        else:
+            features = None
+        inputs = self.network.build_predict_inputs(features, gap_buckets)
+        probabilities = self.network.predict_proba_batch(states, inputs)
+        self.predictions_served += len(requests)
+        return [
+            ServingPrediction(
+                user_id=request.user_id,
+                timestamp=request.timestamp,
+                probability=float(probabilities[row]),
+                kv_lookups=1,
+                bytes_fetched=int(fetched[row]),
+            )
+            for row, request in enumerate(requests)
+        ]
+
+    # ------------------------------------------------------------------
+    # Session-end updates
+    # ------------------------------------------------------------------
+    def observe_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
+        """Publish the session to the stream; the hidden update fires after the window closes."""
+        key = f"session:{user_id}:{timestamp}"
+        self.stream.publish(
+            StreamEvent(topic="context", key=key, timestamp=timestamp, payload={"user_id": user_id, "context": context})
+        )
+        self.stream.publish(
+            StreamEvent(topic="access", key=key, timestamp=timestamp, payload={"accessed": bool(accessed)})
+        )
+        fire_at = timestamp + self.session_length + self.extra_lag
+        self.stream.set_timer(
+            fire_at, key, lambda _key, events, u=user_id, t=timestamp: self._on_timer(u, t, events)
+        )
+
+    def _on_timer(self, user_id: int, timestamp: int, events: list[StreamEvent]) -> None:
+        context: dict[str, float] = {}
+        accessed = False
+        for event in events:
+            if event.topic == "context":
+                context = event.payload["context"]
+            elif event.topic == "access":
+                accessed = accessed or bool(event.payload["accessed"])
+        self.apply_updates([SessionUpdate(user_id=user_id, timestamp=timestamp, context=context, accessed=accessed)])
+
+    def apply_updates(self, updates: list[SessionUpdate]) -> None:
+        """Run the GRU update for a batch of closed sessions.
+
+        Updates to the *same* user are state-dependent, so the batch is
+        processed in waves of distinct users; each wave is one vectorized
+        ``RNN_update`` step.
+        """
+        pending = list(updates)
+        while pending:
+            wave: list[SessionUpdate] = []
+            held: list[SessionUpdate] = []
+            seen: set[int] = set()
+            for update in pending:
+                if update.user_id in seen:
+                    held.append(update)
+                else:
+                    seen.add(update.user_id)
+                    wave.append(update)
+            self._apply_wave(wave)
+            pending = held
+
+    def _apply_wave(self, wave: list[SessionUpdate]) -> None:
+        config = self.network.config
+        states = np.empty((len(wave), self.network.state_size))
+        deltas = np.zeros(len(wave))
+        for row, update in enumerate(wave):
+            state, last_timestamp, _ = self._load_state(update.user_id)
+            states[row] = state
+            if last_timestamp is not None:
+                deltas[row] = max(float(update.timestamp - last_timestamp), 0.0)
+        delta_buckets = np.asarray(log_bucket(deltas, n_buckets=config.n_delta_buckets)).reshape(-1)
+        timestamps = np.asarray([update.timestamp for update in wave], dtype=np.int64)
+        features = self.builder.encode_context_rows([update.context for update in wave], timestamps)
+        accesses = np.asarray([float(update.accessed) for update in wave])
+        update_inputs = self.network.build_update_inputs(features, accesses, delta_buckets)
+        new_states = self.network.update_hidden_batch(states, update_inputs)
+        for row, update in enumerate(wave):
+            self._save_state(update.user_id, new_states[row], update.timestamp)
+        self.updates_applied += len(wave)
+
+    # ------------------------------------------------------------------
+    @property
+    def storage_bytes(self) -> int:
+        return self.store.bytes_for_prefix("hidden:")
+
+
+class BatchedAggregationBackend:
+    """Vectorized traditional dataflow: per-user feature fetch, one batched GBDT call.
+
+    Feature state is inherently per-user (the ≈20 aggregation-group fetches
+    per request are the dominant cost and are preserved exactly), but the
+    estimator call — tree traversals or the logistic dot product — runs once
+    over the stacked ``[B, n_features]`` matrix.
+    """
+
+    def __init__(
+        self,
+        featurizer: TabularFeaturizer,
+        estimator,
+        schema: ContextSchema,
+        store,
+        *,
+        history_window: int = 28 * 86400,
+    ) -> None:
+        self.featurizer = featurizer
+        self.estimator = estimator
+        self.schema = schema
+        self.store = store
+        self.history_window = history_window
+        self.predictions_served = 0
+        self.updates_applied = 0
+
+    # ------------------------------------------------------------------
+    def _history_key(self, user_id: int) -> str:
+        return f"agg:{user_id}"
+
+    def _entry_bytes(self, n_events: int) -> int:
+        # Timestamp + access flag + context values, stored once per
+        # aggregation group the serving system maintains.
+        per_event = 8 + 1 + 8 * len(self.schema)
+        return int(n_events * per_event * max(1, self.featurizer.n_lookup_groups // 2))
+
+    def _load_history(self, user_id: int) -> tuple[dict, int]:
+        record = self.store.get(self._history_key(user_id))
+        if record is None:
+            record = {
+                "timestamps": [],
+                "accesses": [],
+                "context": {name: [] for name in self.schema.names()},
+            }
+            return record, 0
+        return record, self._entry_bytes(len(record["timestamps"]))
+
+    def _save_history(self, user_id: int, record: dict) -> None:
+        self.store.put(
+            self._history_key(user_id), record, size_bytes=self._entry_bytes(len(record["timestamps"]))
+        )
+
+    def _as_user_log(self, user_id: int, record: dict) -> UserLog:
+        return UserLog(
+            user_id=user_id,
+            timestamps=np.asarray(record["timestamps"], dtype=np.int64),
+            accesses=np.asarray(record["accesses"], dtype=np.int8),
+            context={name: np.asarray(values) for name, values in record["context"].items()},
+        )
+
+    # ------------------------------------------------------------------
+    def predict_batch(self, requests: list[ServingRequest]) -> list[ServingPrediction]:
+        if not requests:
+            return []
+        lookups = self.featurizer.n_lookup_groups
+        fetched: list[int] = []
+        feature_rows: list[np.ndarray] = []
+        for request in requests:
+            record, size = self._load_history(request.user_id)
+            fetched.append(size)
+            user_log = self._as_user_log(request.user_id, record)
+            example = Example(
+                user_id=request.user_id,
+                prediction_time=request.timestamp,
+                label=0,
+                context=request.context,
+                session_index=None,
+            )
+            feature_rows.append(self.featurizer.transform_user(user_log, [example]))
+        features = np.concatenate(feature_rows, axis=0)
+        probabilities = np.asarray(self.estimator.predict_proba(features)).reshape(-1)
+        self.predictions_served += len(requests)
+        return [
+            ServingPrediction(
+                user_id=request.user_id,
+                timestamp=request.timestamp,
+                probability=float(probabilities[row]),
+                kv_lookups=lookups,
+                bytes_fetched=max(fetched[row], lookups * 16),
+            )
+            for row, request in enumerate(requests)
+        ]
+
+    # ------------------------------------------------------------------
+    def observe_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
+        record, _ = self._load_history(user_id)
+        record["timestamps"].append(int(timestamp))
+        record["accesses"].append(int(bool(accessed)))
+        for name in self.schema.names():
+            record["context"][name].append(context[name])
+        # Evict events older than the longest aggregation window.
+        cutoff = timestamp - self.history_window
+        while record["timestamps"] and record["timestamps"][0] < cutoff:
+            record["timestamps"].pop(0)
+            record["accesses"].pop(0)
+            for name in self.schema.names():
+                record["context"][name].pop(0)
+        self._save_history(user_id, record)
+        self.updates_applied += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def storage_bytes(self) -> int:
+        return self.store.bytes_for_prefix("agg:")
+
+
+class MicroBatchQueue:
+    """Request queue that coalesces predictions into backend micro-batches.
+
+    ``submit`` enqueues a request and returns any predictions completed by an
+    auto-flush; ``flush`` forces the pending batch through the backend.
+    When a :class:`StreamProcessor` is attached, :meth:`advance_to` is the
+    clock gate: it flushes the queue *before* letting the stream fire timers
+    due at or before the new time, so a queued request can never observe a
+    hidden-state update that logically happens after it.  This is what makes
+    batched results independent of the batch size.
+    """
+
+    def __init__(self, backend, *, max_batch_size: int = 32, stream: StreamProcessor | None = None) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self.backend = backend
+        self.max_batch_size = max_batch_size
+        self.stream = stream
+        if stream is not None:
+            # Whoever advances the clock — this queue or the stream driven
+            # directly — queued requests are scored before timers fire.
+            stream.register_barrier(lambda: self.flush())
+        self._queue: list[ServingRequest] = []
+        self._completed: list[ServingPrediction] = []
+        self.requests_submitted = 0
+        self.batches_flushed = 0
+        self._requests_flushed = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> list[ServingPrediction]:
+        """Queue one request; returns completed predictions if the batch filled.
+
+        The timer barrier is enforced here too, not just in ``advance_to``: a
+        request stamped at or past a due timer first flushes the earlier
+        requests (they must score pre-update) and fires the due timers, so
+        batch-size invariance holds regardless of whether the caller advances
+        the clock before or after submitting.
+
+        This makes predictions part of the stream's monotone timeline: a
+        request stamped past due timers *advances the shared clock*, so a
+        later ``observe_session`` stamped earlier will be rejected by the
+        stream, exactly as if the caller had advanced the clock themselves.
+        Replay in global time order (every harness in this repo does).
+        """
+        completed: list[ServingPrediction] = []
+        if self.stream is not None:
+            due = self.stream.next_timer_at
+            if due is not None and timestamp >= due:
+                completed = self.flush()
+                self.stream.advance_to(timestamp)
+        self._queue.append(ServingRequest(user_id=user_id, context=context, timestamp=timestamp))
+        self.requests_submitted += 1
+        if len(self._queue) >= self.max_batch_size:
+            completed = completed + self.flush()
+        return completed
+
+    def flush(self) -> list[ServingPrediction]:
+        """Score every queued request in one backend micro-batch.
+
+        Results are both returned *and* retained for :meth:`drain_completed`
+        (barrier flushes have no caller to return to).  Consume one way or
+        the other — callers that only read return values should still drain
+        periodically, or the retained buffer grows with traffic.
+        """
+        if not self._queue:
+            return []
+        batch, self._queue = self._queue, []
+        predictions = self.backend.predict_batch(batch)
+        self.batches_flushed += 1
+        self._requests_flushed += len(batch)
+        self._completed.extend(predictions)
+        return predictions
+
+    def drain_completed(self) -> list[ServingPrediction]:
+        """All predictions flushed so far, in submission order; clears the buffer.
+
+        Barrier flushes (``advance_to``, ``barrier_for_user``) can complete
+        requests outside an explicit ``flush()`` call; this is how a batched
+        replay collects every result regardless of which barrier fired.
+        """
+        completed, self._completed = self._completed, []
+        return completed
+
+    def predict(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> ServingPrediction:
+        """Single-request convenience: queue, force a flush, return this result.
+
+        Only this request's entry leaves the completed buffer — predictions
+        that earlier ``submit`` calls queued and this flush completed stay
+        available to ``drain_completed``.
+        """
+        self.submit(user_id, context, timestamp)
+        # submit() may have barrier-flushed only *earlier* queued requests;
+        # this request is scored once the queue is empty, and it is always
+        # the most recent flush's last element (flushes preserve order).
+        if self.pending:
+            self.flush()
+        prediction = self._completed.pop()
+        return prediction
+
+    def barrier_for_user(self, user_id: int) -> list[ServingPrediction]:
+        """Flush iff ``user_id`` has a queued request.
+
+        State mutations that apply *immediately* (the aggregation path's
+        session-end history write) must not overtake a queued prediction for
+        the same user; mutations for other users cannot affect queued
+        requests, so cross-user coalescing continues.
+        """
+        if any(request.user_id == user_id for request in self._queue):
+            return self.flush()
+        return []
+
+    # ------------------------------------------------------------------
+    def advance_to(self, timestamp: int) -> list[ServingPrediction]:
+        """Advance the stream clock, flushing first if a timer would fire.
+
+        Returns the predictions completed by the barrier flush (empty when no
+        timer was due or no stream is attached).
+        """
+        completed: list[ServingPrediction] = []
+        if self.stream is not None:
+            due = self.stream.next_timer_at
+            if due is not None and due <= timestamp:
+                completed = self.flush()
+            self.stream.advance_to(timestamp)
+        return completed
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    @property
+    def mean_batch_size(self) -> float:
+        if not self.batches_flushed:
+            return 0.0
+        return self._requests_flushed / self.batches_flushed

@@ -28,7 +28,14 @@ from ..features.pipeline import TabularFeaturizer
 from ..ml.gbdt import GradientBoostedTrees
 from ..models.rnn import RNNPrecomputeNetwork
 
-__all__ = ["CostParameters", "ServingCostReport", "rnn_prediction_flops", "gbdt_prediction_flops", "estimate_serving_costs"]
+__all__ = [
+    "CostParameters",
+    "ServingCostReport",
+    "rnn_prediction_flops",
+    "gbdt_prediction_flops",
+    "estimate_serving_costs",
+    "kv_traffic_cost",
+]
 
 
 @dataclass(frozen=True)
@@ -80,6 +87,20 @@ class ServingCostReport:
             "model_compute_cost": round(self.model_compute_cost, 1),
             "total_cost": round(self.total_cost_per_prediction, 1),
         }
+
+
+def kv_traffic_cost(stats, parameters: CostParameters | None = None) -> float:
+    """Measured feature-serving cost of an observed KV traffic meter.
+
+    Applies the same per-lookup and per-byte charges as the analytic model to
+    counters actually recorded by a :class:`~repro.serving.kvstore.KVStats`
+    (or a ``snapshot()`` dict of one), so replayed or load-generated traffic
+    — including each shard of a sharded pool — rolls up into the same cost
+    units :func:`estimate_serving_costs` reports.
+    """
+    params = parameters or CostParameters()
+    snapshot = stats.snapshot() if hasattr(stats, "snapshot") else dict(stats)
+    return params.lookup_cost * snapshot["gets"] + params.byte_cost * snapshot["bytes_read"]
 
 
 def rnn_prediction_flops(network: RNNPrecomputeNetwork) -> float:

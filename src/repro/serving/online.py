@@ -54,7 +54,16 @@ class OnlineExperimentReport:
     arms: dict[str, OnlineArmResult] = field(default_factory=dict)
 
     def successful_prefetch_uplift(self, treatment: str, control: str) -> float:
-        """Relative increase in successful prefetches of ``treatment`` over ``control``."""
+        """Relative increase in successful prefetches of ``treatment`` over ``control``.
+
+        The zero-control edge case is defined, not incidental: when the
+        control arm prefetches nothing successfully, the uplift is ``inf``
+        if the treatment succeeded at all (any improvement over nothing is
+        unbounded in relative terms) and ``0.0`` when both arms are at zero
+        (no evidence of a difference).  Downstream consumers check
+        ``np.isfinite`` before averaging uplifts across runs; this contract
+        is pinned by a regression test.
+        """
         control_successes = self.arms[control].outcome.successful_prefetches
         treatment_successes = self.arms[treatment].outcome.successful_prefetches
         if control_successes == 0:

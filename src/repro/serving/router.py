@@ -1,0 +1,211 @@
+"""Consistent-hash sharded key-value pool (the scale-out layer of Section 9).
+
+A single in-process :class:`~repro.serving.kvstore.KeyValueStore` models the
+store's *cost profile* but not its *deployment shape*: at "millions of users"
+the per-user state lives on a pool of store shards, with keys routed by
+consistent hashing so that adding or removing a shard only remaps the keys
+owned by the affected shard.  :class:`ShardedKeyValueStore` is a drop-in
+replacement for ``KeyValueStore`` that routes every operation through a
+:class:`ConsistentHashRing`, meters traffic and storage per shard, and rolls
+the per-shard meters up into the same aggregate counters (and, via
+:func:`~repro.serving.cost.kv_traffic_cost`, the same cost accounting) the
+unsharded store reports.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Any, Iterator
+
+from .cost import CostParameters, kv_traffic_cost
+from .kvstore import KeyValueStore, KVStats
+
+__all__ = ["ConsistentHashRing", "ShardedKeyValueStore"]
+
+
+def _stable_hash(value: str) -> int:
+    """Process-independent 64-bit hash (Python's ``hash`` is salted per run)."""
+    return int.from_bytes(hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest(), "big")
+
+
+class ConsistentHashRing:
+    """Classic consistent-hash ring with virtual nodes.
+
+    Each node is placed at ``replicas`` pseudo-random points on a 64-bit
+    ring; a key is owned by the first node clockwise from the key's hash.
+    Adding a node steals only the keys that now fall in its arcs; removing a
+    node reassigns only the keys it owned.
+    """
+
+    def __init__(self, nodes: list[str] | None = None, *, replicas: int = 64) -> None:
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        for node in nodes or []:
+            self.add_node(node)
+
+    def _virtual_points(self, node: str) -> list[int]:
+        return [_stable_hash(f"{node}#{replica}") for replica in range(self.replicas)]
+
+    def add_node(self, node: str) -> None:
+        for point in self._virtual_points(node):
+            if point in self._owners:
+                raise ValueError(f"hash collision adding node {node!r}")
+            bisect.insort(self._points, point)
+            self._owners[point] = node
+
+    def remove_node(self, node: str) -> None:
+        points = [p for p in self._virtual_points(node) if self._owners.get(p) == node]
+        if not points:
+            raise KeyError(f"node {node!r} is not on the ring")
+        for point in points:
+            self._points.remove(point)
+            del self._owners[point]
+
+    def node_for(self, key: str) -> str:
+        if not self._points:
+            raise RuntimeError("the hash ring has no nodes")
+        index = bisect.bisect_right(self._points, _stable_hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    @property
+    def nodes(self) -> list[str]:
+        return sorted(set(self._owners.values()))
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class ShardedKeyValueStore:
+    """Pool of :class:`KeyValueStore` shards behind a consistent-hash router.
+
+    API-compatible with a single ``KeyValueStore`` (every read/write/metering
+    accessor the serving services use), so the serving backends can be pointed
+    at either.  Per-shard traffic and storage stay visible through
+    :meth:`shard_snapshots` / :meth:`cost_report`, while the aggregate
+    :attr:`stats` sums the shard meters — by construction, the totals for a
+    given workload equal what the unsharded store would report.
+    """
+
+    def __init__(self, n_shards: int = 4, name: str = "kv", *, replicas: int = 64) -> None:
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        self.name = name
+        self.shards = [KeyValueStore(f"{name}/shard{index}") for index in range(n_shards)]
+        self._ring = ConsistentHashRing(
+            [f"{name}/shard{index}" for index in range(n_shards)], replicas=replicas
+        )
+        self._by_name = {shard.name: shard for shard in self.shards}
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_for(self, key: str) -> KeyValueStore:
+        """The unique shard that owns ``key``."""
+        return self._by_name[self._ring.node_for(key)]
+
+    def shard_index(self, key: str) -> int:
+        return self.shards.index(self.shard_for(key))
+
+    # ------------------------------------------------------------------
+    # KeyValueStore-compatible operations
+    # ------------------------------------------------------------------
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.shard_for(key).get(key, default)
+
+    def put(self, key: str, value: Any, size_bytes: int | None = None) -> None:
+        self.shard_for(key).put(key, value, size_bytes=size_bytes)
+
+    def delete(self, key: str) -> bool:
+        return self.shard_for(key).delete(key)
+
+    def contains(self, key: str) -> bool:
+        return self.shard_for(key).contains(key)
+
+    def __contains__(self, key: str) -> bool:
+        return self.contains(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def keys(self) -> Iterator[str]:
+        for shard in self.shards:
+            yield from shard.keys()
+
+    def reset_stats(self) -> None:
+        for shard in self.shards:
+            shard.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Metering rollup
+    # ------------------------------------------------------------------
+    @property
+    def stats(self) -> KVStats:
+        """Aggregate traffic meters: the sum of every shard's counters.
+
+        Unlike ``KeyValueStore.stats`` this is a *snapshot*, recomputed per
+        access, not a live counter object — hold onto the returned value and
+        it will not advance.  Re-read the property (or use
+        :meth:`shard_snapshots`) after further traffic.
+        """
+        total = KVStats()
+        for shard in self.shards:
+            total.gets += shard.stats.gets
+            total.puts += shard.stats.puts
+            total.deletes += shard.stats.deletes
+            total.hits += shard.stats.hits
+            total.misses += shard.stats.misses
+            total.bytes_read += shard.stats.bytes_read
+            total.bytes_written += shard.stats.bytes_written
+        return total
+
+    @property
+    def n_keys(self) -> int:
+        return len(self)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(shard.total_bytes for shard in self.shards)
+
+    def bytes_for_prefix(self, prefix: str) -> int:
+        return sum(shard.bytes_for_prefix(prefix) for shard in self.shards)
+
+    def shard_snapshots(self) -> list[dict[str, int]]:
+        """Per-shard meters: traffic counters plus storage footprint."""
+        return [
+            {"shard": index, "n_keys": shard.n_keys, "storage_bytes": shard.total_bytes, **shard.stats.snapshot()}
+            for index, shard in enumerate(self.shards)
+        ]
+
+    def load_imbalance(self) -> float:
+        """Max-over-mean shard key count (1.0 = perfectly balanced)."""
+        counts = [shard.n_keys for shard in self.shards]
+        mean = sum(counts) / len(counts)
+        if mean == 0:
+            return 1.0
+        return max(counts) / mean
+
+    def cost_report(self, parameters: CostParameters | None = None) -> dict[str, Any]:
+        """Measured traffic cost per shard, rolled up into a pool total.
+
+        Uses the same :class:`~repro.serving.cost.CostParameters` charges as
+        the analytic model, so the pool total is directly comparable to
+        :func:`~repro.serving.cost.estimate_serving_costs` outputs.
+        """
+        params = parameters or CostParameters()
+        per_shard = [kv_traffic_cost(shard.stats, params) for shard in self.shards]
+        return {
+            "per_shard": per_shard,
+            "total": sum(per_shard),
+            "storage_bytes": self.total_bytes,
+            "load_imbalance": round(self.load_imbalance(), 4),
+        }

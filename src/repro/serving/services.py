@@ -17,41 +17,33 @@ Section 9 describes two very different serving dataflows:
   feature vector, and run the GBDT.  Session-end events update the stored
   aggregation state.
 
-Both services meter their key-value traffic and storage through
-:class:`~repro.serving.kvstore.KeyValueStore`, which is what the serving cost
-comparison of the paper's Section 9 (an ~10x reduction for the RNN path) is
-reproduced from.
+Both services are thin single-request wrappers (a
+:class:`~repro.serving.batching.MicroBatchQueue` with ``max_batch_size=1``
+by default) around the batched backends in :mod:`repro.serving.batching`.
+``predict`` always scores immediately; to actually coalesce requests,
+raise ``max_batch_size`` and drive the batched surface — ``submit`` /
+``advance_to`` / ``flush`` / ``drain_completed`` — which preserves results
+and metered KV traffic exactly.  The store can be a single
+:class:`~repro.serving.kvstore.KeyValueStore` or a consistent-hash
+:class:`~repro.serving.router.ShardedKeyValueStore` pool — the services only
+use the common metering interface.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from .. import nn
-from ..data.schema import ContextSchema, UserLog
-from ..data.tasks import Example
-from ..features.bucketing import log_bucket
+from ..data.schema import ContextSchema
 from ..features.pipeline import TabularFeaturizer
 from ..features.sequence import SequenceBuilder
 from ..models.rnn import RNNPrecomputeNetwork
-from .kvstore import KeyValueStore
-from .quantization import dequantize_state, quantize_state
-from .stream import StreamEvent, StreamProcessor
+from .batching import (
+    BatchedAggregationBackend,
+    BatchedHiddenStateBackend,
+    MicroBatchQueue,
+    ServingPrediction,
+)
+from .stream import StreamProcessor
 
 __all__ = ["ServingPrediction", "HiddenStateService", "AggregationFeatureService"]
-
-
-@dataclass(frozen=True)
-class ServingPrediction:
-    """One served prediction with its operational cost footprint."""
-
-    user_id: int
-    timestamp: int
-    probability: float
-    kv_lookups: int
-    bytes_fetched: int
 
 
 class HiddenStateService:
@@ -61,109 +53,93 @@ class HiddenStateService:
         self,
         network: RNNPrecomputeNetwork,
         builder: SequenceBuilder,
-        store: KeyValueStore,
+        store,
         stream: StreamProcessor,
         session_length: int,
         *,
         quantize: bool = False,
         extra_lag: int = 60,
+        max_batch_size: int = 1,
     ) -> None:
-        self.network = network
-        self.builder = builder
-        self.store = store
-        self.stream = stream
-        self.session_length = session_length
-        self.quantize = quantize
-        self.extra_lag = extra_lag
-        self.predictions_served = 0
-        self.updates_applied = 0
-
-    # ------------------------------------------------------------------
-    def _state_key(self, user_id: int) -> str:
-        return f"hidden:{user_id}"
-
-    def _load_state(self, user_id: int) -> tuple[np.ndarray, int | None, int]:
-        """Return (state vector, last update timestamp, bytes fetched)."""
-        record = self.store.get(self._state_key(user_id))
-        if record is None:
-            return np.zeros(self.network.state_size), None, 0
-        stored = record["state"]
-        size = int(stored.nbytes) + 8
-        if self.quantize:
-            stored = dequantize_state(stored, record["scale"])
-        return stored, record["timestamp"], size
-
-    def _save_state(self, user_id: int, state: np.ndarray, timestamp: int) -> None:
-        if self.quantize:
-            quantized, scale = quantize_state(state)
-            record = {"state": quantized, "timestamp": timestamp, "scale": scale}
-            size = int(quantized.nbytes) + 16
-        else:
-            record = {"state": state.astype(np.float32), "timestamp": timestamp}
-            size = int(state.astype(np.float32).nbytes) + 8
-        self.store.put(self._state_key(user_id), record, size_bytes=size)
+        self.backend = BatchedHiddenStateBackend(
+            network,
+            builder,
+            store,
+            stream,
+            session_length,
+            quantize=quantize,
+            extra_lag=extra_lag,
+        )
+        self.engine = MicroBatchQueue(self.backend, max_batch_size=max_batch_size, stream=stream)
 
     # ------------------------------------------------------------------
     def predict(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> ServingPrediction:
         """Serve one access probability (session start)."""
-        state, last_timestamp, fetched = self._load_state(user_id)
-        gap = 0.0 if last_timestamp is None else max(float(timestamp - last_timestamp), 0.0)
-        gap_bucket = np.asarray([log_bucket(gap, n_buckets=self.network.config.n_delta_buckets)])
-        if self.network.config.predict_uses_context:
-            features = self.builder.encode_context_rows([context or {}], np.asarray([timestamp]))
-        else:
-            features = None
-        inputs = self.network.build_predict_inputs(features, gap_bucket)
-        with nn.no_grad():
-            probability = float(
-                self.network.predict_proba(nn.Tensor(state.reshape(1, -1)), nn.Tensor(inputs)).numpy().reshape(-1)[0]
-            )
-        self.predictions_served += 1
-        return ServingPrediction(
-            user_id=user_id,
-            timestamp=timestamp,
-            probability=probability,
-            kv_lookups=1,
-            bytes_fetched=fetched,
-        )
+        return self.engine.predict(user_id, context, timestamp)
 
-    # ------------------------------------------------------------------
     def observe_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
         """Publish the session to the stream; the hidden update fires after the window closes."""
-        key = f"session:{user_id}:{timestamp}"
-        self.stream.publish(
-            StreamEvent(topic="context", key=key, timestamp=timestamp, payload={"user_id": user_id, "context": context})
-        )
-        self.stream.publish(
-            StreamEvent(topic="access", key=key, timestamp=timestamp, payload={"accessed": bool(accessed)})
-        )
-        fire_at = timestamp + self.session_length + self.extra_lag
-        self.stream.set_timer(fire_at, key, lambda _key, events, u=user_id, t=timestamp: self._apply_update(u, t, events))
-
-    def _apply_update(self, user_id: int, timestamp: int, events: list[StreamEvent]) -> None:
-        context = {}
-        accessed = False
-        for event in events:
-            if event.topic == "context":
-                context = event.payload["context"]
-            elif event.topic == "access":
-                accessed = accessed or bool(event.payload["accessed"])
-        state, last_timestamp, _ = self._load_state(user_id)
-        delta = 0.0 if last_timestamp is None else max(float(timestamp - last_timestamp), 0.0)
-        delta_bucket = np.asarray([log_bucket(delta, n_buckets=self.network.config.n_delta_buckets)])
-        features = self.builder.encode_context_rows([context], np.asarray([timestamp]))
-        update_inputs = self.network.build_update_inputs(features, np.asarray([float(accessed)]), delta_bucket)
-        with nn.no_grad():
-            new_state = self.network.update_hidden(
-                nn.Tensor(state.reshape(1, -1)), nn.Tensor(update_inputs)
-            ).numpy().reshape(-1)
-        self._save_state(user_id, new_state, timestamp)
-        self.updates_applied += 1
+        self.backend.observe_session(user_id, context, timestamp, accessed)
 
     # ------------------------------------------------------------------
+    # Batched surface (meaningful when max_batch_size > 1).
+    # ------------------------------------------------------------------
+    def submit(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> list[ServingPrediction]:
+        """Queue a request for micro-batching; see ``MicroBatchQueue.submit``."""
+        return self.engine.submit(user_id, context, timestamp)
+
+    def advance_to(self, timestamp: int) -> list[ServingPrediction]:
+        """Advance the stream clock, flushing queued requests before due timers."""
+        return self.engine.advance_to(timestamp)
+
+    def flush(self) -> list[ServingPrediction]:
+        return self.engine.flush()
+
+    def drain_completed(self) -> list[ServingPrediction]:
+        return self.engine.drain_completed()
+
+    # ------------------------------------------------------------------
+    # Pass-throughs kept for the seed's single-request API surface.
+    # ------------------------------------------------------------------
+    @property
+    def network(self) -> RNNPrecomputeNetwork:
+        return self.backend.network
+
+    @property
+    def builder(self) -> SequenceBuilder:
+        return self.backend.builder
+
+    @property
+    def store(self):
+        return self.backend.store
+
+    @property
+    def stream(self) -> StreamProcessor:
+        return self.backend.stream
+
+    @property
+    def session_length(self) -> int:
+        return self.backend.session_length
+
+    @property
+    def quantize(self) -> bool:
+        return self.backend.quantize
+
+    @property
+    def extra_lag(self) -> int:
+        return self.backend.extra_lag
+
+    @property
+    def predictions_served(self) -> int:
+        return self.backend.predictions_served
+
+    @property
+    def updates_applied(self) -> int:
+        return self.backend.updates_applied
+
     @property
     def storage_bytes(self) -> int:
-        return self.store.bytes_for_prefix("hidden:")
+        return self.backend.storage_bytes
 
 
 class AggregationFeatureService:
@@ -181,91 +157,69 @@ class AggregationFeatureService:
         featurizer: TabularFeaturizer,
         estimator,
         schema: ContextSchema,
-        store: KeyValueStore,
+        store,
         *,
         history_window: int = 28 * 86400,
+        max_batch_size: int = 1,
     ) -> None:
-        self.featurizer = featurizer
-        self.estimator = estimator
-        self.schema = schema
-        self.store = store
-        self.history_window = history_window
-        self.predictions_served = 0
-        self.updates_applied = 0
-
-    # ------------------------------------------------------------------
-    def _history_key(self, user_id: int) -> str:
-        return f"agg:{user_id}"
-
-    def _entry_bytes(self, n_events: int) -> int:
-        # Timestamp + access flag + context values, stored once per
-        # aggregation group the serving system maintains.
-        per_event = 8 + 1 + 8 * len(self.schema)
-        return int(n_events * per_event * max(1, self.featurizer.n_lookup_groups // 2))
-
-    def _load_history(self, user_id: int) -> tuple[dict, int]:
-        record = self.store.get(self._history_key(user_id))
-        if record is None:
-            record = {
-                "timestamps": [],
-                "accesses": [],
-                "context": {name: [] for name in self.schema.names()},
-            }
-            return record, 0
-        return record, self._entry_bytes(len(record["timestamps"]))
-
-    def _save_history(self, user_id: int, record: dict) -> None:
-        self.store.put(
-            self._history_key(user_id), record, size_bytes=self._entry_bytes(len(record["timestamps"]))
+        self.backend = BatchedAggregationBackend(
+            featurizer, estimator, schema, store, history_window=history_window
         )
-
-    def _as_user_log(self, user_id: int, record: dict) -> UserLog:
-        return UserLog(
-            user_id=user_id,
-            timestamps=np.asarray(record["timestamps"], dtype=np.int64),
-            accesses=np.asarray(record["accesses"], dtype=np.int8),
-            context={name: np.asarray(values) for name, values in record["context"].items()},
-        )
+        self.engine = MicroBatchQueue(self.backend, max_batch_size=max_batch_size)
 
     # ------------------------------------------------------------------
     def predict(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> ServingPrediction:
-        record, fetched = self._load_history(user_id)
-        # One fetch per aggregation group is the real cost; loading the rolled
-        # history once here is the in-process equivalent.
-        lookups = self.featurizer.n_lookup_groups
-        user_log = self._as_user_log(user_id, record)
-        example = Example(
-            user_id=user_id, prediction_time=timestamp, label=0, context=context, session_index=None
-        )
-        features = self.featurizer.transform_user(user_log, [example])
-        probability = float(self.estimator.predict_proba(features).reshape(-1)[0])
-        self.predictions_served += 1
-        return ServingPrediction(
-            user_id=user_id,
-            timestamp=timestamp,
-            probability=probability,
-            kv_lookups=lookups,
-            bytes_fetched=max(fetched, lookups * 16),
-        )
+        return self.engine.predict(user_id, context, timestamp)
+
+    def observe_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
+        # The history write applies immediately (no stream delay), so any
+        # queued prediction for this user must be scored against the
+        # pre-session state first.
+        self.engine.barrier_for_user(user_id)
+        self.backend.observe_session(user_id, context, timestamp, accessed)
 
     # ------------------------------------------------------------------
-    def observe_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
-        record, _ = self._load_history(user_id)
-        record["timestamps"].append(int(timestamp))
-        record["accesses"].append(int(bool(accessed)))
-        for name in self.schema.names():
-            record["context"][name].append(context[name])
-        # Evict events older than the longest aggregation window.
-        cutoff = timestamp - self.history_window
-        while record["timestamps"] and record["timestamps"][0] < cutoff:
-            record["timestamps"].pop(0)
-            record["accesses"].pop(0)
-            for name in self.schema.names():
-                record["context"][name].pop(0)
-        self._save_history(user_id, record)
-        self.updates_applied += 1
+    # Batched surface (meaningful when max_batch_size > 1).
+    # ------------------------------------------------------------------
+    def submit(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> list[ServingPrediction]:
+        """Queue a request for micro-batching; see ``MicroBatchQueue.submit``."""
+        return self.engine.submit(user_id, context, timestamp)
+
+    def flush(self) -> list[ServingPrediction]:
+        return self.engine.flush()
+
+    def drain_completed(self) -> list[ServingPrediction]:
+        return self.engine.drain_completed()
 
     # ------------------------------------------------------------------
     @property
+    def featurizer(self) -> TabularFeaturizer:
+        return self.backend.featurizer
+
+    @property
+    def estimator(self):
+        return self.backend.estimator
+
+    @property
+    def schema(self) -> ContextSchema:
+        return self.backend.schema
+
+    @property
+    def store(self):
+        return self.backend.store
+
+    @property
+    def history_window(self) -> int:
+        return self.backend.history_window
+
+    @property
+    def predictions_served(self) -> int:
+        return self.backend.predictions_served
+
+    @property
+    def updates_applied(self) -> int:
+        return self.backend.updates_applied
+
+    @property
     def storage_bytes(self) -> int:
-        return self.store.bytes_for_prefix("agg:")
+        return self.backend.storage_bytes

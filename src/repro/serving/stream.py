@@ -36,6 +36,7 @@ class StreamProcessor:
         self._buffers: dict[str, list[StreamEvent]] = {}
         self._timers: list[tuple[int, int, str, Callable[[str, list[StreamEvent]], None]]] = []
         self._counter = itertools.count()
+        self._barriers: list[Callable[[], None]] = []
         self.clock: int = 0
         self.events_published: int = 0
         self.timers_fired: int = 0
@@ -56,6 +57,20 @@ class StreamProcessor:
             raise ValueError(f"timer at {fire_at} is earlier than the stream clock {self.clock}")
         heapq.heappush(self._timers, (fire_at, next(self._counter), key, callback))
 
+    def register_barrier(self, callback: Callable[[], None]) -> None:
+        """Register a hook run before any timer fires in ``advance_to``.
+
+        Micro-batch queues register their flush here so that *whoever*
+        advances the clock — the queue's own ``advance_to`` or a caller
+        driving the stream directly — queued predictions are always scored
+        before a timer can rewrite the state they depend on.
+
+        Barriers live for the stream's lifetime (no deregistration): pair
+        each serving replay with its own ``StreamProcessor`` rather than
+        re-creating queues against one long-lived stream.
+        """
+        self._barriers.append(callback)
+
     # ------------------------------------------------------------------
     def advance_to(self, timestamp: int) -> int:
         """Advance the clock, firing every timer due at or before ``timestamp``.
@@ -66,6 +81,9 @@ class StreamProcessor:
         if timestamp < self.clock:
             raise ValueError("the stream clock cannot move backwards")
         fired = 0
+        if self._timers and self._timers[0][0] <= timestamp:
+            for barrier in self._barriers:
+                barrier()
         while self._timers and self._timers[0][0] <= timestamp:
             fire_at, _, key, callback = heapq.heappop(self._timers)
             self.clock = fire_at
@@ -87,6 +105,16 @@ class StreamProcessor:
     @property
     def pending_timers(self) -> int:
         return len(self._timers)
+
+    @property
+    def next_timer_at(self) -> int | None:
+        """Fire time of the earliest pending timer, or ``None`` when idle.
+
+        The micro-batch serving engine uses this as its flush barrier: queued
+        predictions must be scored before the clock crosses a timer that
+        could rewrite a hidden state they depend on.
+        """
+        return self._timers[0][0] if self._timers else None
 
     @property
     def buffered_keys(self) -> int:

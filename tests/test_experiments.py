@@ -28,6 +28,7 @@ def test_registry_contains_every_paper_artefact():
         "fig7",
         "online_prefetch",
         "serving_cost",
+        "batched_serving",
         "train_throughput",
     }
     assert expected == set(EXPERIMENTS)
@@ -64,3 +65,43 @@ def test_row_for_raises_on_missing_match():
     result = run_table2(scale={"mobiletab": {"n_users": 10, "n_days": 7}})
     with pytest.raises(KeyError):
         result.row_for(dataset="nope")
+
+
+def _arm(name: str, successes: int):
+    from repro.core.decider import PrecomputeOutcome
+    from repro.serving import OnlineArmResult
+
+    outcome = PrecomputeOutcome(
+        n_examples=100,
+        n_accesses=40,
+        n_precomputes=successes + 5,
+        successful_prefetches=successes,
+        wasted_precomputes=5,
+        missed_accesses=40 - successes,
+        threshold=0.5,
+    )
+    return OnlineArmResult(
+        model_name=name, daily_pr_auc=[], outcome=outcome, threshold=0.5, result=None
+    )
+
+
+def test_successful_prefetch_uplift_zero_control_regression():
+    """Pin the defined zero-control behaviour of the uplift metric.
+
+    control=0, treatment>0 → +inf (unbounded relative improvement);
+    control=0, treatment=0 → 0.0 (no evidence of a difference);
+    control>0 → ordinary relative uplift.
+    """
+    from repro.serving import OnlineExperimentReport
+
+    report = OnlineExperimentReport(
+        arms={"zero": _arm("zero", 0), "also_zero": _arm("also_zero", 0), "wins": _arm("wins", 30)}
+    )
+    assert report.successful_prefetch_uplift("wins", "zero") == float("inf")
+    assert report.successful_prefetch_uplift("also_zero", "zero") == 0.0
+    assert report.successful_prefetch_uplift("zero", "wins") == pytest.approx(-1.0)
+    report.arms["control"] = _arm("control", 20)
+    assert report.successful_prefetch_uplift("wins", "control") == pytest.approx(0.5)
+    # The documented consumer contract: inf is filterable, zero is finite.
+    assert not np.isfinite(report.successful_prefetch_uplift("wins", "zero"))
+    assert np.isfinite(report.successful_prefetch_uplift("also_zero", "zero"))
