@@ -44,30 +44,58 @@ def test_bench_serving_cost_reduction(experiment_runner):
     assert result.metadata["gbdt_kv_gets"] >= result.metadata["rnn_kv_gets"]
 
 
+def _rows_by_scenario(result):
+    rows = {}
+    for row in result.rows:
+        rows[(row["scenario"], row["batch_size"])] = row
+    return rows
+
+
 @pytest.mark.benchmark(group="production")
 def test_bench_batched_serving_throughput(experiment_runner):
     result = experiment_runner(run_batched_serving)
-    rows = {row["batch_size"]: row for row in result.rows}
-    assert set(rows) == {1, 8, 64}
-    # Batching must not change the metered per-request KV traffic or cost.
-    for row in rows.values():
-        assert row["kv_gets_per_request"] == rows[1]["kv_gets_per_request"]
-        assert row["bytes_per_request"] == rows[1]["bytes_per_request"]
-        assert row["cost_per_request"] == rows[1]["cost_per_request"]
-    # The scale claim: coalescing 64 requests per forward amortises the
+    rows = _rows_by_scenario(result)
+    assert set(rows) == {(s, b) for s in ("poisson", "bursty") for b in (1, 8, 64)}
+    # Batching must not change the metered per-request KV traffic or cost —
+    # on either dataflow, under either arrival pattern.
+    for scenario in ("poisson", "bursty"):
+        baseline = rows[(scenario, 1)]
+        assert baseline["kv_gets_per_request"] == 1.0
+        for batch_size in (8, 64):
+            row = rows[(scenario, batch_size)]
+            assert row["kv_gets_per_request"] == baseline["kv_gets_per_request"]
+            assert row["bytes_per_request"] == baseline["bytes_per_request"]
+            assert row["cost_per_request"] == baseline["cost_per_request"]
+    # Bursty arrivals synchronize session ends, so the wave scheduler actually
+    # coalesces: mean wave size ≈ burst size, far above one timer per wave.
+    assert rows[("bursty", 64)]["mean_wave"] >= 16.0
+
+    # The scale claims: coalescing 64 requests per forward amortises the
     # per-request Python overhead at least 5x over one-at-a-time serving
-    # (typically >10x).  Wall-clock ratios can be dented by scheduler noise
-    # on shared CI runners, so a shortfall gets one retry on a workload
-    # large enough to average the noise out before it fails the build.
-    if rows[64]["requests_per_second"] < 5.0 * rows[1]["requests_per_second"]:
-        result = run_batched_serving(n_requests=8000)
-        rows = {row["batch_size"]: row for row in result.rows}
-        if os.environ.get("CI") and rows[64]["requests_per_second"] < 5.0 * rows[1]["requests_per_second"]:
+    # (typically >10x), and the wave-coalesced update drain sustains at least
+    # 3x the per-timer path under bursty arrivals.  Wall-clock ratios can be
+    # dented by scheduler noise on shared CI runners, so a shortfall gets one
+    # retry on a workload large enough to average the noise out.
+    def speedups(rows):
+        serve = rows[("poisson", 64)]["requests_per_second"] / rows[("poisson", 1)]["requests_per_second"]
+        drain = rows[("bursty", 64)]["updates_per_second"] / rows[("bursty", 1)]["updates_per_second"]
+        return serve, drain
+
+    serve_speedup, drain_speedup = speedups(rows)
+    if serve_speedup < 5.0 or drain_speedup < 3.0:
+        # Tighter burst spacing keeps the 4x-longer arrival stream inside the
+        # session window (the experiment rejects spans that would let timers
+        # fire mid-serve and muddy the phase timings).
+        result = run_batched_serving(n_requests=8000, burst_spacing=8)
+        rows = _rows_by_scenario(result)
+        serve_speedup, drain_speedup = speedups(rows)
+        if os.environ.get("CI") and (serve_speedup < 5.0 or drain_speedup < 3.0):
             # Shared hosted runners can be descheduled mid-timing twice in a
             # row; don't fail the build on wall-clock noise there.  Local and
-            # driver runs still enforce the ratio.
-            pytest.skip("CI runner timing noise: speedup below 5x even after the heavier retry")
-    assert rows[64]["requests_per_second"] >= 5.0 * rows[1]["requests_per_second"]
+            # driver runs still enforce the ratios.
+            pytest.skip("CI runner timing noise: speedups below target even after the heavier retry")
+    assert serve_speedup >= 5.0
+    assert drain_speedup >= 3.0
     assert result.metadata["throughput_speedup"] >= 5.0
 
 

@@ -8,10 +8,14 @@
   cost reduction.
 * :func:`run_training_throughput` — Section 7.1's minibatch evaluation
   strategies (padded batching vs per-user gradient accumulation).
-* :func:`run_batched_serving` — the scale path: a Poisson load generator
-  drives the micro-batched hidden-state engine against a consistent-hash
-  sharded store pool, reporting throughput, per-request KV traffic and
-  measured serving cost as functions of the batch size and shard count.
+* :func:`run_batched_serving` — the scale path: Poisson and bursty/diurnal
+  load generators drive the micro-batched hidden-state engine against a
+  consistent-hash sharded store pool, reporting prediction throughput *and*
+  update-drain throughput (the stream's wave-coalesced timer scheduler
+  batches session-end GRU updates), per-request KV traffic and measured
+  serving cost as functions of the batch size, arrival pattern and shard
+  count.  ``python -m repro.experiments.production --smoke`` runs a small
+  version for CI.
 """
 
 from __future__ import annotations
@@ -37,6 +41,7 @@ from ..serving import (
     StreamProcessor,
     estimate_serving_costs,
     kv_traffic_cost,
+    replay_sessions_through_service,
     rnn_prediction_flops,
 )
 from .results import ExperimentResult
@@ -99,6 +104,9 @@ def run_serving_cost(
     reports = estimate_serving_costs(rnn.network, gbdt.estimator, gbdt.featurizer, parameters=CostParameters())
 
     # Dynamic replay through the serving services, metering actual KV traffic.
+    # Each service replays the same session stream in global time order (the
+    # stream clock is monotone) through the batched cursor surface; the
+    # hidden path's session-end updates arrive in wave-coalesced timer waves.
     replay_users = split.test.users[:n_replay_users]
     rnn_store, gbdt_store = KeyValueStore("rnn"), KeyValueStore("gbdt")
     stream = StreamProcessor()
@@ -107,19 +115,13 @@ def run_serving_cost(
     )
     aggregation_service = AggregationFeatureService(gbdt.featurizer, gbdt.estimator, dataset.schema, gbdt_store)
 
-    # Replay all sessions in global time order (the stream clock is monotone).
-    events = sessions_in_time_order(replay_users)
-    predictions = 0
-    for timestamp, user, index in events:
-        context = user.context_row(index)
-        accessed = bool(user.accesses[index])
-        stream.advance_to(timestamp)
-        hidden_service.predict(user.user_id, context, timestamp)
-        aggregation_service.predict(user.user_id, context, timestamp)
-        hidden_service.observe_session(user.user_id, context, timestamp, accessed)
-        aggregation_service.observe_session(user.user_id, context, timestamp, accessed)
-        predictions += 1
-    stream.flush()
+    events = [
+        (int(timestamp), user.user_id, user.context_row(index), bool(user.accesses[index]))
+        for timestamp, user, index in sessions_in_time_order(replay_users)
+    ]
+    replay_sessions_through_service(hidden_service, events)
+    replay_sessions_through_service(aggregation_service, events)
+    predictions = len(events)
 
     result = ExperimentResult(
         experiment_id="serving_cost",
@@ -153,6 +155,23 @@ def run_serving_cost(
     return result
 
 
+def _poisson_arrivals(rng, start: int, n_requests: int, arrival_rate: float) -> np.ndarray:
+    """Arrival seconds of a Poisson process at ``arrival_rate`` requests/s."""
+    return start + np.floor(rng.exponential(1.0 / arrival_rate, n_requests).cumsum()).astype(np.int64)
+
+
+def _bursty_arrivals(rng, start: int, n_requests: int, burst_size: int, burst_spacing: int) -> np.ndarray:
+    """Synchronized bursts: ``burst_size`` requests share each arrival second.
+
+    This is the diurnal shape waves are built for — when many sessions start
+    together (a push notification, a commute peak), their windows close
+    together and the session-end timers land in the same wave.
+    """
+    n_bursts = -(-n_requests // burst_size)
+    bursts = start + np.arange(n_bursts, dtype=np.int64) * burst_spacing
+    return np.repeat(bursts, burst_size)[:n_requests]
+
+
 def run_batched_serving(
     n_users: int = 60,
     n_requests: int = 2000,
@@ -161,127 +180,191 @@ def run_batched_serving(
     n_shards: int = 4,
     hidden_size: int = 24,
     seed: int = 0,
+    scenarios: tuple[str, ...] = ("poisson", "bursty"),
+    burst_size: int = 64,
+    burst_spacing: int = 30,
 ) -> ExperimentResult:
-    """Poisson load generator for the batched, sharded hidden-state engine.
+    """Load generator for the batched, sharded hidden-state engine.
 
-    Simulates heavy prediction traffic: request arrivals follow a Poisson
-    process at ``arrival_rate`` requests/second across a Zipf-skewed user
-    population, served by the micro-batch engine over a consistent-hash pool
-    of ``n_shards`` KV shards.  The same request stream is replayed once per
-    batch size; per-request KV traffic is invariant (one state fetch per
-    prediction), so the rows isolate what batching buys: prediction
-    throughput.  Session-end hidden updates are drained afterwards in
-    micro-batched waves and timed separately (in production they are
-    asynchronous and off the latency-critical path).
+    Simulates heavy traffic under two arrival patterns — a Poisson process at
+    ``arrival_rate`` requests/second and synchronized bursts of
+    ``burst_size`` — across a Zipf-skewed user population, served by the
+    micro-batch engine over a consistent-hash pool of ``n_shards`` KV shards.
+    Each scenario's request stream is replayed once per batch size; per
+    request KV traffic is invariant (one state fetch per prediction), so the
+    rows isolate what batching buys.
+
+    Both serving dataflows are measured: the serve phase reports prediction
+    throughput, and the drain phase fires the session-end timers through the
+    stream and reports update throughput.  At ``batch_size=1`` the backend
+    runs the seed's per-timer path; at larger batch sizes the stream's
+    wave-coalesced scheduler delivers whole waves of closed sessions as one
+    ``[B, hidden]`` GRU step — under bursty arrivals that is where the wave
+    scheduler pays off, because every burst's windows close in the same
+    second.  (Arrival spans are kept shorter than the session window so no
+    timer fires mid-serve and the serve-phase metering stays pure.)
     """
     if not batch_sizes:
         raise ValueError("at least one batch size is required")
-    task = TaskSpec(kind="session")
+    if not scenarios:
+        raise ValueError("at least one scenario is required")
+    unknown = set(scenarios) - {"poisson", "bursty"}
+    if unknown:
+        raise ValueError(f"unknown scenarios: {sorted(unknown)}")
+    extra_lag = 60  # BatchedHiddenStateBackend default
     dataset = make_dataset("mobiletab", seed=seed, n_users=n_users)
+
+    # Arrival offsets first (before the training spend), so a workload whose
+    # span would let session-end timers fire mid-serve — polluting the
+    # serve-phase metering and splitting the update count across both timed
+    # phases — is rejected up front with an actionable message.
+    rng = np.random.default_rng(seed + 7)
+    offsets_by_scenario: dict[str, np.ndarray] = {}
+    for scenario in scenarios:
+        if scenario == "poisson":
+            offsets = _poisson_arrivals(rng, 0, n_requests, arrival_rate)
+        else:
+            offsets = _bursty_arrivals(rng, 0, n_requests, burst_size, burst_spacing)
+        span = int(offsets[-1] - offsets[0])
+        if span >= dataset.session_length + extra_lag:
+            raise ValueError(
+                f"{scenario} arrivals span {span}s but the session window closes after "
+                f"{dataset.session_length + extra_lag}s: timers would fire mid-serve and the "
+                "serve/drain phases would overlap — raise arrival_rate, shrink burst_spacing "
+                "or lower n_requests"
+            )
+        offsets_by_scenario[scenario] = offsets
+
+    task = TaskSpec(kind="session")
     rnn = RNNModel(
         RNNModelConfig(hidden_size=hidden_size, epochs=2, early_stopping_patience=None, seed=seed)
     ).fit(dataset, task)
     assert rnn.network is not None and rnn.builder is not None
 
-    # Shared request stream: Poisson arrivals, Zipf-skewed user popularity,
-    # context rows resampled from the users' real logs.
-    rng = np.random.default_rng(seed + 7)
+    # Shared request material: Zipf-skewed user popularity, context rows
+    # resampled from the users' real logs.
     active_users = [user for user in dataset.users if len(user)]
     popularity = 1.0 / np.arange(1, len(active_users) + 1) ** 1.1
     popularity /= popularity.sum()
     start = int(dataset.start_time)
-    arrival_times = start + np.floor(rng.exponential(1.0 / arrival_rate, n_requests).cumsum()).astype(np.int64)
-    chosen = rng.choice(len(active_users), size=n_requests, p=popularity)
-    requests = []
-    for arrival, user_index in zip(arrival_times, chosen):
-        user = active_users[user_index]
-        session = int(rng.integers(len(user)))
-        requests.append(
-            (int(arrival), user.user_id, user.context_row(session), bool(user.accesses[session]))
-        )
+
+    def request_stream(arrival_times: np.ndarray):
+        chosen = rng.choice(len(active_users), size=len(arrival_times), p=popularity)
+        requests = []
+        for arrival, user_index in zip(arrival_times, chosen):
+            user = active_users[user_index]
+            session = int(rng.integers(len(user)))
+            requests.append(
+                (int(arrival), user.user_id, user.context_row(session), bool(user.accesses[session]))
+            )
+        return requests
+
+    streams_by_scenario = {
+        scenario: request_stream(start + offsets) for scenario, offsets in offsets_by_scenario.items()
+    }
 
     result = ExperimentResult(
         experiment_id="batched_serving",
         description=(
-            f"Micro-batched hidden-state serving under Poisson load "
-            f"({n_requests} requests, {n_shards} shards)"
+            f"Micro-batched hidden-state serving with wave-coalesced updates "
+            f"({n_requests} requests/scenario, {n_shards} shards)"
         ),
         paper_reference=(
-            "Paper Section 9 serves the hidden-state path one request at a time; batching the "
-            "state fetches and the MLP head over [B, hidden] stacks is the standard lever for "
-            "heavy traffic and leaves per-request KV traffic unchanged"
+            "Paper Section 9 serves the hidden-state path one request (and one session-end "
+            "timer) at a time; batching predictions over [B, hidden] stacks and coalescing "
+            "timer waves batches both dataflows while leaving per-request KV traffic unchanged"
         ),
     )
-    throughputs: dict[int, float] = {}
-    for batch_size in batch_sizes:
-        store = ShardedKeyValueStore(n_shards, name=f"rnn-b{batch_size}")
-        stream = StreamProcessor()
-        backend = BatchedHiddenStateBackend(
-            rnn.network, rnn.builder, store, stream, session_length=dataset.session_length
-        )
-        queue = MicroBatchQueue(backend, max_batch_size=batch_size, stream=stream)
-        # Warm each user's state so serving fetches hit real records.
-        backend.apply_updates(
-            [
-                SessionUpdate(user_id=user.user_id, timestamp=start - 3600, context=user.context_row(0), accessed=True)
-                for user in active_users
-            ]
-        )
-        store.reset_stats()
-
-        serve_start = time.perf_counter()
-        for arrival, user_id, context, _ in requests:
-            queue.advance_to(arrival)
-            queue.submit(user_id, context, arrival)
-        queue.flush()
-        serve_seconds = time.perf_counter() - serve_start
-        served = len(queue.drain_completed())
-        # Snapshot before the update drain so the serve-phase metering is
-        # store-agnostic (KeyValueStore.stats is live; the sharded pool's is
-        # already a per-access snapshot).
-        serve_stats = store.stats.snapshot()
-
-        # Drain the session-end updates in micro-batched waves.
-        updates = [
-            SessionUpdate(
-                user_id=user_id,
-                timestamp=arrival + dataset.session_length,
-                context=context,
-                accessed=accessed,
+    prediction_speedups: dict[str, float] = {}
+    update_speedups: dict[str, float] = {}
+    for scenario, requests in streams_by_scenario.items():
+        serve_throughputs: dict[int, float] = {}
+        drain_throughputs: dict[int, float] = {}
+        for batch_size in batch_sizes:
+            store = ShardedKeyValueStore(n_shards, name=f"rnn-{scenario}-b{batch_size}")
+            stream = StreamProcessor()
+            # batch_size 1 is the seed baseline on both dataflows: single
+            # request scoring and one timer callback per session-end update.
+            backend = BatchedHiddenStateBackend(
+                rnn.network,
+                rnn.builder,
+                store,
+                stream,
+                session_length=dataset.session_length,
+                coalesce_updates=batch_size > 1,
             )
-            for arrival, user_id, context, accessed in requests
-        ]
-        drain_start = time.perf_counter()
-        for cursor in range(0, len(updates), batch_size):
-            backend.apply_updates(updates[cursor : cursor + batch_size])
-        drain_seconds = time.perf_counter() - drain_start
+            queue = MicroBatchQueue(backend, max_batch_size=batch_size, stream=stream)
+            # Warm each user's state so serving fetches hit real records.
+            backend.apply_updates(
+                [
+                    SessionUpdate(user_id=user.user_id, timestamp=start - 3600, context=user.context_row(0), accessed=True)
+                    for user in active_users
+                ]
+            )
+            store.reset_stats()
+            warm_updates = backend.updates_applied
 
-        throughput = served / serve_seconds if serve_seconds > 0 else float("inf")
-        throughputs[batch_size] = throughput
-        cost_per_request = (
-            kv_traffic_cost(serve_stats) / served
-            + CostParameters().flop_cost * rnn_prediction_flops(rnn.network)
+            served = []
+            serve_start = time.perf_counter()
+            for arrival, user_id, context, accessed in requests:
+                served += queue.advance_to(arrival)
+                served += queue.submit(user_id, context, arrival)
+                backend.observe_session(user_id, context, arrival, accessed)
+            served += queue.flush()
+            serve_seconds = time.perf_counter() - serve_start
+            served += queue.drain_completed()
+            # Snapshot before the update drain so the serve-phase metering is
+            # pure prediction traffic (no timer fires mid-serve: the arrival
+            # span is shorter than session_length + extra_lag).
+            serve_stats = store.stats.snapshot()
+
+            # Drain the session-end updates through the stream: waves of
+            # closed sessions (or one timer at a time at batch size 1).
+            waves_before = stream.waves_fired
+            drain_start = time.perf_counter()
+            stream.flush()
+            drain_seconds = time.perf_counter() - drain_start
+            updates_applied = backend.updates_applied - warm_updates
+            drain_waves = stream.waves_fired - waves_before
+
+            throughput = len(served) / serve_seconds if serve_seconds > 0 else float("inf")
+            serve_throughputs[batch_size] = throughput
+            drain_throughput = updates_applied / drain_seconds if drain_seconds > 0 else float("inf")
+            drain_throughputs[batch_size] = drain_throughput
+            cost_per_request = (
+                kv_traffic_cost(serve_stats) / len(served)
+                + CostParameters().flop_cost * rnn_prediction_flops(rnn.network)
+            )
+            result.rows.append(
+                {
+                    "scenario": scenario,
+                    "batch_size": batch_size,
+                    "requests_per_second": round(throughput, 1),
+                    "updates_per_second": round(drain_throughput, 1),
+                    "mean_wave": round(updates_applied / max(drain_waves, 1), 1),
+                    "kv_gets_per_request": round(serve_stats["gets"] / len(served), 3),
+                    "bytes_per_request": round(serve_stats["bytes_read"] / len(served), 1),
+                    "cost_per_request": round(cost_per_request, 1),
+                    "mean_batch": round(queue.mean_batch_size, 1),
+                    "load_imbalance": round(store.load_imbalance(), 3),
+                }
+            )
+            assert len(served) == n_requests and backend.predictions_served == n_requests
+            assert updates_applied == n_requests
+        prediction_speedups[scenario] = round(
+            serve_throughputs[max(batch_sizes)] / serve_throughputs[min(batch_sizes)], 2
         )
-        result.rows.append(
-            {
-                "batch_size": batch_size,
-                "requests_per_second": round(throughput, 1),
-                "serve_seconds": round(serve_seconds, 3),
-                "updates_per_second": round(len(updates) / drain_seconds, 1) if drain_seconds > 0 else float("inf"),
-                "kv_gets_per_request": round(serve_stats["gets"] / served, 3),
-                "bytes_per_request": round(serve_stats["bytes_read"] / served, 1),
-                "cost_per_request": round(cost_per_request, 1),
-                "mean_batch": round(queue.mean_batch_size, 1),
-                "load_imbalance": round(store.load_imbalance(), 3),
-            }
+        update_speedups[scenario] = round(
+            drain_throughputs[max(batch_sizes)] / drain_throughputs[min(batch_sizes)], 2
         )
-        assert served == n_requests and backend.predictions_served == n_requests
     result.metadata = {
         "n_users": n_users,
         "n_shards": n_shards,
         "arrival_rate": arrival_rate,
-        "throughput_speedup": round(throughputs[max(batch_sizes)] / throughputs[min(batch_sizes)], 2),
-        "throughputs": {str(size): round(value, 1) for size, value in throughputs.items()},
+        "burst_size": burst_size,
+        "throughput_speedup": prediction_speedups.get("poisson", max(prediction_speedups.values())),
+        "prediction_speedups": prediction_speedups,
+        "update_drain_speedups": update_speedups,
     }
     return result
 
@@ -321,3 +404,29 @@ def run_training_throughput(
             }
         )
     return result
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point: run the batched-serving benchmark (CI uses ``--smoke``)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Run the batched_serving load-generator benchmark")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small fast configuration that still exercises both scenarios and the wave path",
+    )
+    args = parser.parse_args(argv)
+    kwargs = (
+        dict(n_users=16, n_requests=256, batch_sizes=(1, 32), burst_size=32, burst_spacing=15)
+        if args.smoke
+        else {}
+    )
+    result = run_batched_serving(**kwargs)
+    print(result.format_table())
+    print(f"  prediction speedups: {result.metadata['prediction_speedups']}")
+    print(f"  update-drain speedups: {result.metadata['update_drain_speedups']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,14 @@ directly on ``np.ndarray`` stacks of shape ``[batch, dim]``.
 
 Only the *evaluation-time* forward is provided: dropout is an identity at
 inference, and serving always runs frozen (``eval()``-mode) networks.
+
+The recurrent *update* kernels additionally guarantee **batch-size
+invariance**: applying a ``[B, hidden]`` stack of session updates in one step
+is bit-identical to applying the same rows one at a time.  BLAS matmuls do
+not have that property (blocking and FMA order depend on the shape), so the
+update kernels contract through :func:`row_stable_linear` instead — this is
+what lets the wave-coalesced timer scheduler batch session-end GRU updates
+without being observable in any stored state.
 """
 
 from __future__ import annotations
@@ -19,6 +27,7 @@ import numpy as np
 
 __all__ = [
     "linear",
+    "row_stable_linear",
     "relu",
     "sigmoid",
     "stable_sigmoid",
@@ -32,6 +41,24 @@ __all__ = [
 def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
     """Affine map ``x @ weight.T + bias`` (PyTorch convention)."""
     out = x @ weight.T
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def row_stable_linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Affine map whose per-row results are independent of the batch size.
+
+    ``(x @ W.T)[i]`` generally differs from ``x[i:i+1] @ W.T`` in the last
+    ulp because BLAS picks different blocking/accumulation orders for
+    different shapes.  Feeding matmul a stacked ``[B, 1, n] @ [n, m]``
+    instead routes every row through the identical ``[1, n]`` kernel — the
+    same one a singleton update uses — so each row's bits are independent of
+    how many rows ride along, at a C-level loop's cost rather than Python's.
+    The batch-size invariance (and hence the wave scheduler's bit-exact
+    coalescing) is pinned by ``test_update_kernels_are_batch_size_invariant``.
+    """
+    out = np.matmul(x[:, None, :], weight.T)[:, 0, :]
     if bias is not None:
         out = out + bias
     return out
@@ -72,12 +99,14 @@ def gru_step(
 ) -> np.ndarray:
     """One batched GRU step over ``[B, input]`` / ``[B, hidden]`` stacks.
 
-    Identical arithmetic to :func:`repro.nn.rnn.fused_gru_step`'s forward
-    pass (PyTorch gate convention), minus the autograd bookkeeping.
+    Same arithmetic as :func:`repro.nn.rnn.fused_gru_step`'s forward pass
+    (PyTorch gate convention) minus the autograd bookkeeping, contracted via
+    :func:`row_stable_linear` so the step is batch-size invariant: a wave of
+    updates equals the same updates applied one at a time, bit for bit.
     """
     hidden = h_prev.shape[1]
-    gates_i = x @ weight_ih.T + bias_ih
-    gates_h = h_prev @ weight_hh.T + bias_hh
+    gates_i = row_stable_linear(x, weight_ih, bias_ih)
+    gates_h = row_stable_linear(h_prev, weight_hh, bias_hh)
     reset = stable_sigmoid(gates_i[:, :hidden] + gates_h[:, :hidden])
     update = stable_sigmoid(gates_i[:, hidden : 2 * hidden] + gates_h[:, hidden : 2 * hidden])
     candidate = np.tanh(gates_i[:, 2 * hidden :] + reset * gates_h[:, 2 * hidden :])
@@ -92,11 +121,11 @@ def lstm_step(
     bias_ih: np.ndarray,
     bias_hh: np.ndarray,
 ) -> np.ndarray:
-    """One batched LSTM step over the packed ``[B, 2*hidden]`` state."""
+    """One batched, batch-size-invariant LSTM step over the packed ``[B, 2*hidden]`` state."""
     hidden = state.shape[1] // 2
     h_prev = state[:, :hidden]
     c_prev = state[:, hidden:]
-    gates = linear(x, weight_ih, bias_ih) + linear(h_prev, weight_hh, bias_hh)
+    gates = row_stable_linear(x, weight_ih, bias_ih) + row_stable_linear(h_prev, weight_hh, bias_hh)
     i_gate = sigmoid(gates[:, :hidden])
     f_gate = sigmoid(gates[:, hidden : 2 * hidden])
     g_gate = np.tanh(gates[:, 2 * hidden : 3 * hidden])
@@ -113,8 +142,8 @@ def elman_step(
     weight_hh: np.ndarray,
     bias: np.ndarray,
 ) -> np.ndarray:
-    """One batched tanh (Elman) step."""
-    return np.tanh(linear(x, weight_ih, bias) + h_prev @ weight_hh.T)
+    """One batched, batch-size-invariant tanh (Elman) step."""
+    return np.tanh(row_stable_linear(x, weight_ih, bias) + row_stable_linear(h_prev, weight_hh))
 
 
 def cell_step(cell, x: np.ndarray, state: np.ndarray) -> np.ndarray:

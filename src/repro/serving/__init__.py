@@ -16,11 +16,16 @@ from .cost import (
     rnn_prediction_flops,
 )
 from .kvstore import KeyValueStore, KVStats
-from .online import OnlineArmResult, OnlineExperiment, OnlineExperimentReport
+from .online import (
+    OnlineArmResult,
+    OnlineExperiment,
+    OnlineExperimentReport,
+    replay_sessions_through_service,
+)
 from .quantization import dequantize_state, quantization_error, quantize_state
 from .router import ConsistentHashRing, ShardedKeyValueStore
 from .services import AggregationFeatureService, HiddenStateService, ServingPrediction
-from .stream import StreamEvent, StreamProcessor
+from .stream import StreamEvent, StreamProcessor, TimerFiring, TimerGroup
 
 __all__ = [
     "BatchedAggregationBackend",
@@ -39,6 +44,7 @@ __all__ = [
     "OnlineArmResult",
     "OnlineExperiment",
     "OnlineExperimentReport",
+    "replay_sessions_through_service",
     "dequantize_state",
     "quantization_error",
     "quantize_state",
@@ -49,4 +55,6 @@ __all__ = [
     "ServingPrediction",
     "StreamEvent",
     "StreamProcessor",
+    "TimerFiring",
+    "TimerGroup",
 ]

@@ -23,13 +23,23 @@ Three pieces:
   With ``max_batch_size=1`` it degenerates to the seed's single-request
   behaviour, which is how the public services wrap it.
 
+Both serving dataflows are batched: predictions coalesce in the queue, and
+session-end GRU updates arrive from the stream's wave-coalesced timer
+scheduler (:meth:`StreamProcessor.timer_group`) as whole waves applied in one
+``[B, hidden]`` step.  Delivery of completed predictions follows a drained
+cursor: every prediction is handed out exactly once, in submission order,
+either as the return value of the call that completed it or — for flushes
+with no caller, like stream barriers — from :meth:`MicroBatchQueue.drain_completed`.
+
 Equivalence with the single-request path (same probabilities, same
 precompute decisions, same KV traffic) is enforced by
-``tests/test_serving_batching.py``.
+``tests/test_serving_batching.py``; wave-vs-per-timer bit-identity by
+``tests/test_stream_waves.py``.
 """
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,7 +51,7 @@ from ..features.pipeline import TabularFeaturizer
 from ..features.sequence import SequenceBuilder
 from ..models.rnn import RNNPrecomputeNetwork
 from .quantization import dequantize_state, quantize_state
-from .stream import StreamEvent, StreamProcessor
+from .stream import StreamEvent, StreamProcessor, TimerFiring
 
 __all__ = [
     "ServingRequest",
@@ -94,6 +104,13 @@ class BatchedHiddenStateBackend:
     Construction freezes the network (``eval()``): serving deploys trained
     weights, and a training-mode network would make served probabilities
     stochastic through dropout.
+
+    With ``coalesce_updates`` (the default) session-end timers register in a
+    stream :class:`~repro.serving.stream.TimerGroup`: all updates whose
+    windows close in the same wave arrive together and run as one batched
+    GRU step.  The update kernels are batch-size invariant, so this is
+    bit-identical to the per-timer path (``coalesce_updates=False``), which
+    is kept as the seed-semantics baseline for the equivalence suites.
     """
 
     def __init__(
@@ -106,6 +123,7 @@ class BatchedHiddenStateBackend:
         *,
         quantize: bool = False,
         extra_lag: int = 60,
+        coalesce_updates: bool = True,
     ) -> None:
         network.eval()
         self.network = network
@@ -115,6 +133,9 @@ class BatchedHiddenStateBackend:
         self.session_length = session_length
         self.quantize = quantize
         self.extra_lag = extra_lag
+        self.coalesce_updates = coalesce_updates
+        self._timer_group = stream.timer_group(self._on_wave) if coalesce_updates else None
+        self._session_seq = itertools.count()
         self.predictions_served = 0
         self.updates_applied = 0
 
@@ -141,8 +162,9 @@ class BatchedHiddenStateBackend:
             record = {"state": quantized, "timestamp": timestamp, "scale": scale}
             size = int(quantized.nbytes) + 16
         else:
-            record = {"state": state.astype(np.float32), "timestamp": timestamp}
-            size = int(state.astype(np.float32).nbytes) + 8
+            stored = state.astype(np.float32)
+            record = {"state": stored, "timestamp": timestamp}
+            size = int(stored.nbytes) + 8
         self.store.put(self._state_key(user_id), record, size_bytes=size)
 
     # ------------------------------------------------------------------
@@ -187,8 +209,15 @@ class BatchedHiddenStateBackend:
     # Session-end updates
     # ------------------------------------------------------------------
     def observe_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
-        """Publish the session to the stream; the hidden update fires after the window closes."""
-        key = f"session:{user_id}:{timestamp}"
+        """Publish the session to the stream; the hidden update fires after the window closes.
+
+        The session key carries a sequence number so two sessions observed
+        for the same (user, second) stay distinct: the seed's bare
+        ``session:{user}:{timestamp}`` key merged their events under one
+        buffer and left the second timer an empty join (a crash once bursty
+        load generators made the collision likely).
+        """
+        key = f"session:{user_id}:{timestamp}:{next(self._session_seq)}"
         self.stream.publish(
             StreamEvent(topic="context", key=key, timestamp=timestamp, payload={"user_id": user_id, "context": context})
         )
@@ -196,11 +225,16 @@ class BatchedHiddenStateBackend:
             StreamEvent(topic="access", key=key, timestamp=timestamp, payload={"accessed": bool(accessed)})
         )
         fire_at = timestamp + self.session_length + self.extra_lag
-        self.stream.set_timer(
-            fire_at, key, lambda _key, events, u=user_id, t=timestamp: self._on_timer(u, t, events)
-        )
+        if self._timer_group is not None:
+            self._timer_group.set_timer(fire_at, key, payload=(user_id, timestamp))
+        else:
+            self.stream.set_timer(
+                fire_at, key, lambda _key, events, u=user_id, t=timestamp: self._on_timer(u, t, events)
+            )
 
-    def _on_timer(self, user_id: int, timestamp: int, events: list[StreamEvent]) -> None:
+    @staticmethod
+    def _session_update(user_id: int, timestamp: int, events: list[StreamEvent]) -> SessionUpdate:
+        """Join a session's buffered stream events into one observation."""
         context: dict[str, float] = {}
         accessed = False
         for event in events:
@@ -208,30 +242,51 @@ class BatchedHiddenStateBackend:
                 context = event.payload["context"]
             elif event.topic == "access":
                 accessed = accessed or bool(event.payload["accessed"])
-        self.apply_updates([SessionUpdate(user_id=user_id, timestamp=timestamp, context=context, accessed=accessed)])
+        return SessionUpdate(user_id=user_id, timestamp=timestamp, context=context, accessed=accessed)
+
+    def _on_timer(self, user_id: int, timestamp: int, events: list[StreamEvent]) -> None:
+        self.apply_updates([self._session_update(user_id, timestamp, events)])
+
+    def _on_wave(self, firings: list[TimerFiring]) -> None:
+        """Group callback: one stream wave of closed sessions, one batched update."""
+        self.apply_updates(
+            [self._session_update(*firing.payload, firing.events) for firing in firings]
+        )
 
     def apply_updates(self, updates: list[SessionUpdate]) -> None:
         """Run the GRU update for a batch of closed sessions.
 
         Updates to the *same* user are state-dependent, so the batch is
         processed in waves of distinct users; each wave is one vectorized
-        ``RNN_update`` step.
+        ``RNN_update`` step.  Context encoding depends only on the update
+        itself (not on stored state), so it runs once over the whole batch
+        and the per-wave step slices its rows — the row values are exact, so
+        this changes nothing observable.
         """
-        pending = list(updates)
+        if not updates:
+            return
+        timestamps = np.asarray([update.timestamp for update in updates], dtype=np.int64)
+        features = self.builder.encode_context_rows(
+            [update.context for update in updates], timestamps
+        )
+        accesses = np.asarray([float(update.accessed) for update in updates])
+        pending = list(range(len(updates)))
         while pending:
-            wave: list[SessionUpdate] = []
-            held: list[SessionUpdate] = []
+            wave: list[int] = []
+            held: list[int] = []
             seen: set[int] = set()
-            for update in pending:
-                if update.user_id in seen:
-                    held.append(update)
+            for index in pending:
+                if updates[index].user_id in seen:
+                    held.append(index)
                 else:
-                    seen.add(update.user_id)
-                    wave.append(update)
-            self._apply_wave(wave)
+                    seen.add(updates[index].user_id)
+                    wave.append(index)
+            self._apply_wave(
+                [updates[index] for index in wave], features[wave], accesses[wave]
+            )
             pending = held
 
-    def _apply_wave(self, wave: list[SessionUpdate]) -> None:
+    def _apply_wave(self, wave: list[SessionUpdate], features: np.ndarray, accesses: np.ndarray) -> None:
         config = self.network.config
         states = np.empty((len(wave), self.network.state_size))
         deltas = np.zeros(len(wave))
@@ -241,9 +296,6 @@ class BatchedHiddenStateBackend:
             if last_timestamp is not None:
                 deltas[row] = max(float(update.timestamp - last_timestamp), 0.0)
         delta_buckets = np.asarray(log_bucket(deltas, n_buckets=config.n_delta_buckets)).reshape(-1)
-        timestamps = np.asarray([update.timestamp for update in wave], dtype=np.int64)
-        features = self.builder.encode_context_rows([update.context for update in wave], timestamps)
-        accesses = np.asarray([float(update.accessed) for update in wave])
         update_inputs = self.network.build_update_inputs(features, accesses, delta_buckets)
         new_states = self.network.update_hidden_batch(states, update_inputs)
         for row, update in enumerate(wave):
@@ -375,13 +427,22 @@ class BatchedAggregationBackend:
 class MicroBatchQueue:
     """Request queue that coalesces predictions into backend micro-batches.
 
-    ``submit`` enqueues a request and returns any predictions completed by an
-    auto-flush; ``flush`` forces the pending batch through the backend.
-    When a :class:`StreamProcessor` is attached, :meth:`advance_to` is the
-    clock gate: it flushes the queue *before* letting the stream fire timers
-    due at or before the new time, so a queued request can never observe a
-    hidden-state update that logically happens after it.  This is what makes
-    batched results independent of the batch size.
+    ``submit`` enqueues a request; ``flush`` forces the pending batch through
+    the backend.  When a :class:`StreamProcessor` is attached,
+    :meth:`advance_to` is the clock gate: it flushes the queue *before*
+    letting the stream fire timers due at or before the new time, so a queued
+    request can never observe a hidden-state update that logically happens
+    after it.  This is what makes batched results independent of the batch
+    size.
+
+    **Delivery is a drained cursor.**  Every completed prediction is handed
+    out exactly once, in submission order: whatever a public call returns is
+    *delivered* and will never reappear, and :meth:`drain_completed` yields
+    only the results no call delivered (correctness flushes triggered by
+    stream barriers, which have no caller to return to).  A replay that
+    concatenates the returns of ``submit`` / ``advance_to`` / ``flush`` with
+    a final ``drain_completed`` therefore sees each prediction once, with no
+    bookkeeping about which flush completed what.
     """
 
     def __init__(self, backend, *, max_batch_size: int = 32, stream: StreamProcessor | None = None) -> None:
@@ -390,19 +451,41 @@ class MicroBatchQueue:
         self.backend = backend
         self.max_batch_size = max_batch_size
         self.stream = stream
+        self._barrier_handle: int | None = None
         if stream is not None:
             # Whoever advances the clock — this queue or the stream driven
             # directly — queued requests are scored before timers fire.
-            stream.register_barrier(lambda: self.flush())
+            self._barrier_handle = stream.register_barrier(self._barrier_flush)
         self._queue: list[ServingRequest] = []
-        self._completed: list[ServingPrediction] = []
+        self._undelivered: list[ServingPrediction] = []
         self.requests_submitted = 0
         self.batches_flushed = 0
         self._requests_flushed = 0
 
     # ------------------------------------------------------------------
+    # Scoring and the delivery cursor.
+    # ------------------------------------------------------------------
+    def _score_pending(self) -> None:
+        """Score the pending batch and append the results to the cursor."""
+        if not self._queue:
+            return
+        batch, self._queue = self._queue, []
+        predictions = self.backend.predict_batch(batch)
+        self.batches_flushed += 1
+        self._requests_flushed += len(batch)
+        self._undelivered.extend(predictions)
+
+    def _barrier_flush(self) -> None:
+        """Stream-barrier flush: no caller, so the results stay undelivered."""
+        self._score_pending()
+
+    def _deliver(self) -> list[ServingPrediction]:
+        delivered, self._undelivered = self._undelivered, []
+        return delivered
+
+    # ------------------------------------------------------------------
     def submit(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> list[ServingPrediction]:
-        """Queue one request; returns completed predictions if the batch filled.
+        """Queue one request; delivers any predictions a flush completed.
 
         The timer barrier is enforced here too, not just in ``advance_to``: a
         request stamped at or past a due timer first flushes the earlier
@@ -416,92 +499,107 @@ class MicroBatchQueue:
         stream, exactly as if the caller had advanced the clock themselves.
         Replay in global time order (every harness in this repo does).
         """
-        completed: list[ServingPrediction] = []
+        delivered: list[ServingPrediction] = []
         if self.stream is not None:
             due = self.stream.next_timer_at
             if due is not None and timestamp >= due:
-                completed = self.flush()
+                delivered += self.flush()
                 self.stream.advance_to(timestamp)
         self._queue.append(ServingRequest(user_id=user_id, context=context, timestamp=timestamp))
         self.requests_submitted += 1
         if len(self._queue) >= self.max_batch_size:
-            completed = completed + self.flush()
-        return completed
+            delivered += self.flush()
+        return delivered
 
     def flush(self) -> list[ServingPrediction]:
-        """Score every queued request in one backend micro-batch.
+        """Score the pending batch and deliver every undelivered result.
 
-        Results are both returned *and* retained for :meth:`drain_completed`
-        (barrier flushes have no caller to return to).  Consume one way or
-        the other — callers that only read return values should still drain
-        periodically, or the retained buffer grows with traffic.
+        The return value is the delivery: a prediction returned here never
+        reappears in :meth:`drain_completed` (or any later call).  Results a
+        stream barrier completed earlier ride along, keeping the delivery in
+        submission order.
         """
-        if not self._queue:
-            return []
-        batch, self._queue = self._queue, []
-        predictions = self.backend.predict_batch(batch)
-        self.batches_flushed += 1
-        self._requests_flushed += len(batch)
-        self._completed.extend(predictions)
-        return predictions
+        self._score_pending()
+        return self._deliver()
 
     def drain_completed(self) -> list[ServingPrediction]:
-        """All predictions flushed so far, in submission order; clears the buffer.
+        """Deliver the predictions no caller has collected yet, in submission order.
 
-        Barrier flushes (``advance_to``, ``barrier_for_user``) can complete
-        requests outside an explicit ``flush()`` call; this is how a batched
-        replay collects every result regardless of which barrier fired.
+        Correctness flushes triggered by stream barriers (a caller driving
+        the :class:`StreamProcessor` directly) complete requests with no
+        caller to return to; this is where those results surface — exactly
+        once.
         """
-        completed, self._completed = self._completed, []
-        return completed
+        return self._deliver()
 
     def predict(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> ServingPrediction:
         """Single-request convenience: queue, force a flush, return this result.
 
-        Only this request's entry leaves the completed buffer — predictions
-        that earlier ``submit`` calls queued and this flush completed stay
-        available to ``drain_completed``.
+        Only this request's result is delivered to the caller — predictions
+        that earlier ``submit`` calls queued and this flush completed go back
+        to the cursor for ``drain_completed``.
         """
-        self.submit(user_id, context, timestamp)
-        # submit() may have barrier-flushed only *earlier* queued requests;
-        # this request is scored once the queue is empty, and it is always
-        # the most recent flush's last element (flushes preserve order).
+        delivered = self.submit(user_id, context, timestamp)
         if self.pending:
-            self.flush()
-        prediction = self._completed.pop()
-        return prediction
+            delivered += self.flush()
+        # This request is the newest, so its result is the last delivered
+        # (flushes preserve submission order); re-retain the earlier ones.
+        *earlier, own = delivered
+        if earlier:
+            self._undelivered[:0] = earlier
+        return own
 
-    def barrier_for_user(self, user_id: int) -> list[ServingPrediction]:
+    def barrier_for_user(self, user_id: int, *, deliver: bool = True) -> list[ServingPrediction]:
         """Flush iff ``user_id`` has a queued request.
 
         State mutations that apply *immediately* (the aggregation path's
         session-end history write) must not overtake a queued prediction for
         the same user; mutations for other users cannot affect queued
-        requests, so cross-user coalescing continues.
+        requests, so cross-user coalescing continues.  With ``deliver=False``
+        the completed results stay on the cursor for ``drain_completed`` —
+        the mode service internals use, since their caller is not collecting.
         """
         if any(request.user_id == user_id for request in self._queue):
-            return self.flush()
+            self._score_pending()
+            if deliver:
+                return self._deliver()
         return []
 
     # ------------------------------------------------------------------
     def advance_to(self, timestamp: int) -> list[ServingPrediction]:
         """Advance the stream clock, flushing first if a timer would fire.
 
-        Returns the predictions completed by the barrier flush (empty when no
-        timer was due or no stream is attached).
+        Delivers the predictions completed by the flush (empty when no timer
+        was due or no stream is attached).
         """
-        completed: list[ServingPrediction] = []
+        delivered: list[ServingPrediction] = []
         if self.stream is not None:
             due = self.stream.next_timer_at
             if due is not None and due <= timestamp:
-                completed = self.flush()
+                delivered = self.flush()
             self.stream.advance_to(timestamp)
-        return completed
+        return delivered
+
+    def detach(self) -> None:
+        """Deregister this queue's stream barrier.
+
+        Call when retiring a queue while its stream lives on (e.g. replacing
+        the engine between replays): otherwise the dead queue's barrier keeps
+        firing on every wave.  Safe to call more than once.
+        """
+        if self.stream is not None and self._barrier_handle is not None:
+            self.stream.deregister_barrier(self._barrier_handle)
+            self._barrier_handle = None
 
     # ------------------------------------------------------------------
     @property
     def pending(self) -> int:
         return len(self._queue)
+
+    @property
+    def undelivered(self) -> int:
+        """Completed predictions awaiting ``drain_completed``."""
+        return len(self._undelivered)
 
     @property
     def mean_batch_size(self) -> float:

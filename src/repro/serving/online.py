@@ -14,6 +14,12 @@ population: models are trained on the training population, thresholds are
 calibrated on the training population's own predictions, and then every
 session of the live population is scored in time order (each prediction can
 only see that user's earlier history, so early days genuinely are cold).
+
+:func:`replay_sessions_through_service` is the shared live-replay loop for
+the *serving* stack: it drives a session stream through a service's batched
+cursor surface (submit / advance / flush / drain) in global time order, so
+examples, experiments and tests all exercise the same wave-coalesced
+dataflow instead of each hand-rolling the idiom.
 """
 
 from __future__ import annotations
@@ -29,7 +35,47 @@ from ..data.tasks import session_examples
 from ..metrics import pr_auc
 from ..models.base import AccessProbabilityModel, PredictionResult, TaskSpec
 
-__all__ = ["OnlineArmResult", "OnlineExperimentReport", "OnlineExperiment"]
+__all__ = [
+    "OnlineArmResult",
+    "OnlineExperimentReport",
+    "OnlineExperiment",
+    "replay_sessions_through_service",
+]
+
+
+def replay_sessions_through_service(service, events):
+    """Replay ``(timestamp, user_id, context, accessed)`` tuples through a service.
+
+    Drives the batched cursor surface in global time order: advance the
+    clock to each session start, submit the prediction, observe the session,
+    then flush the engine, fire the remaining session-end timers (in waves)
+    and drain.  Under the exactly-once delivery contract the concatenated
+    returns are every prediction exactly once, in submission order — the
+    trailing length check turns any lost or duplicated delivery into a hard
+    error rather than a silently wrong replay.
+
+    Works for both service flavours: ``advance_to``/``stream`` are used only
+    when the service has them (the aggregation path has no stream clock).
+    Returns the list of :class:`~repro.serving.batching.ServingPrediction`
+    aligned with ``events``.
+    """
+    delivered = []
+    advance = getattr(service, "advance_to", None)
+    for timestamp, user_id, context, accessed in events:
+        if advance is not None:
+            delivered += advance(timestamp)
+        delivered += service.submit(user_id, context, timestamp)
+        service.observe_session(user_id, context, timestamp, accessed)
+    delivered += service.flush()
+    stream = getattr(service, "stream", None)
+    if stream is not None:
+        stream.flush()
+    delivered += service.drain_completed()
+    if len(delivered) != len(events):
+        raise RuntimeError(
+            f"serving replay delivered {len(delivered)} predictions for {len(events)} sessions"
+        )
+    return delivered
 
 
 @dataclass

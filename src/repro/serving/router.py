@@ -44,6 +44,12 @@ class ConsistentHashRing:
         self.replicas = replicas
         self._points: list[int] = []
         self._owners: dict[int, str] = {}
+        # Route cache: key → owning node.  Serving traffic is heavily
+        # key-repetitive (one hidden-state record per user), so memoising the
+        # blake2b + ring search turns the per-request routing cost into a
+        # dict hit.  Membership changes invalidate the whole cache — resizes
+        # are rare, lookups are the hot path.
+        self._route_cache: dict[str, str] = {}
         for node in nodes or []:
             self.add_node(node)
 
@@ -56,6 +62,7 @@ class ConsistentHashRing:
                 raise ValueError(f"hash collision adding node {node!r}")
             bisect.insort(self._points, point)
             self._owners[point] = node
+        self._route_cache.clear()
 
     def remove_node(self, node: str) -> None:
         points = [p for p in self._virtual_points(node) if self._owners.get(p) == node]
@@ -64,14 +71,20 @@ class ConsistentHashRing:
         for point in points:
             self._points.remove(point)
             del self._owners[point]
+        self._route_cache.clear()
 
     def node_for(self, key: str) -> str:
+        owner = self._route_cache.get(key)
+        if owner is not None:
+            return owner
         if not self._points:
             raise RuntimeError("the hash ring has no nodes")
         index = bisect.bisect_right(self._points, _stable_hash(key))
         if index == len(self._points):
             index = 0
-        return self._owners[self._points[index]]
+        owner = self._owners[self._points[index]]
+        self._route_cache[key] = owner
+        return owner
 
     @property
     def nodes(self) -> list[str]:

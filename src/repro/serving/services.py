@@ -23,10 +23,14 @@ by default) around the batched backends in :mod:`repro.serving.batching`.
 ``predict`` always scores immediately; to actually coalesce requests,
 raise ``max_batch_size`` and drive the batched surface — ``submit`` /
 ``advance_to`` / ``flush`` / ``drain_completed`` — which preserves results
-and metered KV traffic exactly.  The store can be a single
-:class:`~repro.serving.kvstore.KeyValueStore` or a consistent-hash
-:class:`~repro.serving.router.ShardedKeyValueStore` pool — the services only
-use the common metering interface.
+and metered KV traffic exactly.  Delivery follows the queue's drained
+cursor: whatever those calls return is delivered exactly once, and
+``drain_completed`` surfaces only what no call returned.  Session-end GRU
+updates ride the stream's wave-coalesced timer scheduler, so under live
+traffic the update path is as batched as the prediction path.  The store
+can be a single :class:`~repro.serving.kvstore.KeyValueStore` or a
+consistent-hash :class:`~repro.serving.router.ShardedKeyValueStore` pool —
+the services only use the common metering interface.
 """
 
 from __future__ import annotations
@@ -60,6 +64,7 @@ class HiddenStateService:
         quantize: bool = False,
         extra_lag: int = 60,
         max_batch_size: int = 1,
+        coalesce_updates: bool = True,
     ) -> None:
         self.backend = BatchedHiddenStateBackend(
             network,
@@ -69,6 +74,7 @@ class HiddenStateService:
             session_length,
             quantize=quantize,
             extra_lag=extra_lag,
+            coalesce_updates=coalesce_updates,
         )
         self.engine = MicroBatchQueue(self.backend, max_batch_size=max_batch_size, stream=stream)
 
@@ -97,6 +103,10 @@ class HiddenStateService:
 
     def drain_completed(self) -> list[ServingPrediction]:
         return self.engine.drain_completed()
+
+    def detach(self) -> None:
+        """Deregister the engine's stream barrier (retire this service)."""
+        self.engine.detach()
 
     # ------------------------------------------------------------------
     # Pass-throughs kept for the seed's single-request API surface.
@@ -174,8 +184,10 @@ class AggregationFeatureService:
     def observe_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
         # The history write applies immediately (no stream delay), so any
         # queued prediction for this user must be scored against the
-        # pre-session state first.
-        self.engine.barrier_for_user(user_id)
+        # pre-session state first.  ``deliver=False``: this method has no
+        # return channel, so the flushed results stay on the cursor for
+        # ``drain_completed`` rather than being delivered (and lost) here.
+        self.engine.barrier_for_user(user_id, deliver=False)
         self.backend.observe_session(user_id, context, timestamp, accessed)
 
     # ------------------------------------------------------------------

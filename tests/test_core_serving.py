@@ -111,6 +111,82 @@ class TestKVStoreAndStream:
         with pytest.raises(ValueError):
             stream.publish(StreamEvent("late", "x", 10))
 
+    def test_flush_on_empty_stream_is_a_no_op(self):
+        stream = StreamProcessor()
+        stream.advance_to(500)
+        assert stream.flush() == 0
+        assert stream.clock == 500 and stream.waves_fired == 0
+
+    def test_timer_set_exactly_at_the_current_clock_fires(self):
+        stream = StreamProcessor()
+        stream.advance_to(100)
+        fired: list[str] = []
+        stream.set_timer(100, "now", lambda key, events: fired.append(key))
+        # Advancing to the current clock is legal and fires the due timer.
+        assert stream.advance_to(100) == 1
+        assert fired == ["now"] and stream.clock == 100
+
+    def test_barrier_deregistration_mid_replay(self):
+        stream = StreamProcessor()
+        calls: list[str] = []
+        handle = stream.register_barrier(lambda: calls.append("a"))
+        stream.register_barrier(lambda: calls.append("b"))
+        stream.set_timer(10, "t1", lambda key, events: None)
+        stream.advance_to(10)
+        assert calls == ["a", "b"]
+        stream.deregister_barrier(handle)
+        stream.set_timer(20, "t2", lambda key, events: None)
+        stream.advance_to(20)
+        assert calls == ["a", "b", "b"]
+        with pytest.raises(KeyError):
+            stream.deregister_barrier(handle)
+
+    def test_queue_detach_deregisters_its_barrier(self):
+        from repro.serving import MicroBatchQueue
+
+        class Recorder:
+            def __init__(self):
+                self.batches = []
+
+            def predict_batch(self, requests):
+                self.batches.append(len(requests))
+                return [None] * len(requests)
+
+        stream = StreamProcessor()
+        retired = MicroBatchQueue(Recorder(), max_batch_size=8, stream=stream)
+        live_backend = Recorder()
+        live = MicroBatchQueue(live_backend, max_batch_size=8, stream=stream)
+        retired.detach()
+        retired.detach()  # idempotent
+        retired.submit(1, None, 0)
+        live.submit(2, None, 0)
+        stream.set_timer(5, "t", lambda key, events: None)
+        stream.advance_to(5)
+        # Only the live queue's barrier fired; the detached queue kept its
+        # request pending instead of scoring it behind the caller's back.
+        assert retired.pending == 1 and live.pending == 0
+        assert live_backend.batches == [1]
+
+    def test_out_of_time_order_submit_advances_the_shared_clock(self):
+        """Pin the documented contract: a request stamped past due timers
+        advances the stream clock, so an earlier-stamped publish is rejected —
+        callers must replay in global time order."""
+        from repro.serving import MicroBatchQueue
+
+        class Echo:
+            def predict_batch(self, requests):
+                return [r.timestamp for r in requests]
+
+        stream = StreamProcessor()
+        queue = MicroBatchQueue(Echo(), max_batch_size=100, stream=stream)
+        stream.set_timer(50, "t", lambda key, events: None)
+        queue.submit(1, None, 10)
+        delivered = queue.submit(2, None, 80)  # past the due timer
+        assert delivered == [10]  # the earlier request scored pre-update
+        assert stream.clock == 80 and stream.timers_fired == 1
+        with pytest.raises(ValueError):
+            stream.publish(StreamEvent("context", "late", 60))
+
     def test_quantization_round_trip_error_is_small(self):
         rng = np.random.default_rng(0)
         state = rng.normal(scale=0.5, size=128)

@@ -85,6 +85,50 @@ def _arm(name: str, successes: int):
     )
 
 
+def test_serving_replay_delivers_each_prediction_exactly_once():
+    """Pin the replay idiom the examples and experiments share.
+
+    ``examples/mobiletab_prefetch.py``, ``run_serving_cost`` and the
+    equivalence harnesses all consume the engine through
+    ``replay_sessions_through_service``; under the drained-cursor contract
+    its output must be every submitted session exactly once, in submission
+    order — no duplicate deliveries, no results stranded on the cursor.
+    """
+    from repro.data import ContextField, ContextSchema
+    from repro.features.sequence import SequenceBuilder
+    from repro.models.rnn import RNNNetworkConfig, RNNPrecomputeNetwork
+    from repro.serving import (
+        HiddenStateService,
+        KeyValueStore,
+        StreamProcessor,
+        replay_sessions_through_service,
+    )
+
+    schema = ContextSchema(fields=(ContextField("badge", "numeric"),))
+    builder = SequenceBuilder(schema)
+    network = RNNPrecomputeNetwork(
+        RNNNetworkConfig(feature_dim=builder.feature_dim, hidden_size=8, mlp_hidden=6),
+        rng=np.random.default_rng(2),
+    ).eval()
+    rng = np.random.default_rng(3)
+    base = 1_600_000_000
+    events = []
+    clock = base
+    for _ in range(200):
+        clock += int(rng.integers(0, 120))
+        events.append((clock, int(rng.integers(0, 10)), {"badge": float(rng.integers(0, 5))}, bool(rng.integers(0, 2))))
+    # Batch sizes straddling the stream's timer cadence: barrier flushes,
+    # auto-flushes and the trailing drain all contribute deliveries.
+    for batch_size in (1, 7, 64):
+        service = HiddenStateService(
+            network, builder, KeyValueStore(), StreamProcessor(), 600, max_batch_size=batch_size
+        )
+        predictions = replay_sessions_through_service(service, events)
+        assert [(p.user_id, p.timestamp) for p in predictions] == [(e[1], e[0]) for e in events]
+        assert service.engine.undelivered == 0 and service.engine.pending == 0
+        assert service.updates_applied == len(events)
+
+
 def test_successful_prefetch_uplift_zero_control_regression():
     """Pin the defined zero-control behaviour of the uplift metric.
 

@@ -27,6 +27,7 @@ from repro.serving import (
     ShardedKeyValueStore,
     StreamProcessor,
     dequantize_state,
+    replay_sessions_through_service,
 )
 
 BATCH_SIZES = (1, 7, 64)
@@ -124,22 +125,16 @@ def replay_hidden_reference(rnn, dataset, events):
     return np.asarray(probabilities), store
 
 
-def replay_hidden_batched(rnn, dataset, events, batch_size, store=None):
+def replay_hidden_batched(rnn, dataset, events, batch_size, store=None, **service_kwargs):
     store = store if store is not None else KeyValueStore()
     stream = StreamProcessor()
     service = HiddenStateService(
-        rnn.network, rnn.builder, store, stream, dataset.session_length, max_batch_size=batch_size
+        rnn.network, rnn.builder, store, stream, dataset.session_length,
+        max_batch_size=batch_size, **service_kwargs,
     )
-    for timestamp, user_id, context, accessed in events:
-        service.engine.advance_to(timestamp)
-        service.engine.submit(user_id, context, timestamp)
-        service.observe_session(user_id, context, timestamp, accessed)
-    service.engine.flush()
-    stream.flush()
-    predictions = service.engine.drain_completed()
-    assert len(predictions) == len(events)
-    # Barrier flushes may complete requests out of explicit flush calls, but
-    # never out of submission order.
+    predictions = replay_sessions_through_service(service, events)
+    # Deliveries arrive from whichever call completed each request, but never
+    # out of submission order — and exactly once (the helper checks counts).
     assert [p.timestamp for p in predictions] == [event[0] for event in events]
     return np.asarray([p.probability for p in predictions]), store, predictions, service
 
@@ -149,12 +144,7 @@ def replay_aggregation_batched(gbdt, dataset, events, batch_size, store=None):
     service = AggregationFeatureService(
         gbdt.featurizer, gbdt.estimator, dataset.schema, store, max_batch_size=batch_size
     )
-    for timestamp, user_id, context, accessed in events:
-        service.engine.submit(user_id, context, timestamp)
-        service.observe_session(user_id, context, timestamp, accessed)
-    service.engine.flush()
-    predictions = service.engine.drain_completed()
-    assert len(predictions) == len(events)
+    predictions = replay_sessions_through_service(service, events)
     return np.asarray([p.probability for p in predictions]), store, predictions
 
 
@@ -199,7 +189,11 @@ class TestHiddenStateEquivalence:
             expected = reference_store.get(key)
             actual = store.get(key)
             assert actual["timestamp"] == expected["timestamp"]
-            np.testing.assert_allclose(actual["state"], expected["state"], rtol=0, atol=1e-6)
+            # Bitwise, not within tolerance: the update kernels route every
+            # row through the same [1, n] contraction the seed's per-request
+            # autograd path uses, so batching and wave coalescing are
+            # invisible in the stored states down to the last ulp.
+            np.testing.assert_array_equal(actual["state"], expected["state"])
 
     def test_quantized_path_equivalent_across_batch_sizes(self, trained):
         dataset, rnn, _, events = trained
@@ -210,14 +204,9 @@ class TestHiddenStateEquivalence:
                 rnn.network, rnn.builder, store, stream, dataset.session_length,
                 quantize=True, max_batch_size=batch_size,
             )
-            for timestamp, user_id, context, accessed in events:
-                service.engine.advance_to(timestamp)
-                service.engine.submit(user_id, context, timestamp)
-                service.observe_session(user_id, context, timestamp, accessed)
-            service.engine.flush()
-            stream.flush()
+            predictions = replay_sessions_through_service(service, events)
             results[batch_size] = (
-                np.asarray([p.probability for p in service.engine.drain_completed()]),
+                np.asarray([p.probability for p in predictions]),
                 store.stats.snapshot(),
             )
             sample_key = next(iter(store.keys()))
@@ -280,8 +269,35 @@ class TestAllCellTypes:
         with nn.no_grad():
             expected_update = network.update_hidden(nn.Tensor(states), nn.Tensor(update_inputs)).numpy()
             expected_proba = network.predict_proba(nn.Tensor(states), nn.Tensor(predict_inputs)).numpy().reshape(-1)
-        np.testing.assert_array_equal(network.update_hidden_batch(states, update_inputs), expected_update)
+        # The prediction kernels share the autograd path's BLAS contraction:
+        # bit-identical at the same shape.  The update kernels trade that for
+        # batch-size invariance (row-stable einsum), so they agree with the
+        # autograd forward to float ulps, not bits.
+        np.testing.assert_allclose(
+            network.update_hidden_batch(states, update_inputs), expected_update, rtol=0, atol=1e-12
+        )
         np.testing.assert_array_equal(network.predict_proba_batch(states, predict_inputs), expected_proba)
+
+    @pytest.mark.parametrize("cell", ["gru", "lstm", "tanh"])
+    def test_update_kernels_are_batch_size_invariant(self, cell):
+        """A stacked update equals the same rows applied one at a time, bit for bit.
+
+        This is the numerical foundation of the wave scheduler: coalescing a
+        wave of session-end updates into one ``[B, hidden]`` step must be
+        invisible in every stored state.
+        """
+        from repro.models.rnn import RNNNetworkConfig, RNNPrecomputeNetwork
+
+        config = RNNNetworkConfig(feature_dim=5, hidden_size=8, mlp_hidden=6, cell=cell, n_delta_buckets=4)
+        network = RNNPrecomputeNetwork(config, rng=np.random.default_rng(3)).eval()
+        rng = np.random.default_rng(4)
+        states = rng.normal(size=(33, network.state_size))
+        update_inputs = rng.normal(size=(33, config.update_input_dim))
+        stacked = network.update_hidden_batch(states, update_inputs)
+        one_at_a_time = np.vstack(
+            [network.update_hidden_batch(states[i : i + 1], update_inputs[i : i + 1]) for i in range(33)]
+        )
+        np.testing.assert_array_equal(stacked, one_at_a_time)
 
     @pytest.mark.parametrize("cell", ["lstm", "tanh"])
     def test_service_replay_equivalent_across_batch_sizes(self, trained, cell):
@@ -299,14 +315,9 @@ class TestAllCellTypes:
             service = HiddenStateService(
                 network, builder, store, stream, dataset.session_length, max_batch_size=batch_size
             )
-            for timestamp, user_id, context, accessed in events[:200]:
-                service.advance_to(timestamp)
-                service.submit(user_id, context, timestamp)
-                service.observe_session(user_id, context, timestamp, accessed)
-            service.flush()
-            stream.flush()
+            predictions = replay_sessions_through_service(service, events[:200])
             results[batch_size] = (
-                np.asarray([p.probability for p in service.drain_completed()]),
+                np.asarray([p.probability for p in predictions]),
                 store.stats.snapshot(),
             )
         np.testing.assert_allclose(results[1][0], results[16][0], rtol=0, atol=1e-10)
@@ -328,7 +339,8 @@ class TestMicroBatchQueue:
         completed = queue.submit(user_id, context, timestamp)
         assert len(completed) == 4 and queue.pending == 0
         assert queue.batches_flushed == 1 and queue.mean_batch_size == 4.0
-        queue.drain_completed()
+        # The submit return was the delivery: nothing left to drain.
+        assert queue.drain_completed() == []
 
     def test_advance_to_flushes_before_due_timer(self, trained):
         dataset, rnn, _, events = trained
@@ -349,13 +361,16 @@ class TestMicroBatchQueue:
         completed = queue.advance_to(fire_at)
         assert len(completed) == 1
         assert queue.pending == 0 and service.updates_applied == 1
-        queue.drain_completed()
+        assert queue.drain_completed() == []
 
     def test_direct_stream_drive_cannot_bypass_the_barrier(self, trained):
         """Driving the StreamProcessor directly must still flush queued requests first.
 
         The seed-era idiom advances and flushes the stream itself; the queue
         registers a barrier on the stream so that ordering stays equivalent.
+        Barrier flushes have no caller, so their results surface exactly once
+        from ``drain_completed`` — the delivered and drained channels must
+        partition the request set.
         """
         dataset, rnn, _, events = trained
         reference, reference_store = replay_hidden_reference(rnn, dataset, events)
@@ -363,14 +378,16 @@ class TestMicroBatchQueue:
         service = HiddenStateService(
             rnn.network, rnn.builder, store, stream, dataset.session_length, max_batch_size=16
         )
+        predictions = []
         for timestamp, user_id, context, accessed in events:
             stream.advance_to(timestamp)  # stream driven directly, not via the queue
-            service.submit(user_id, context, timestamp)
+            predictions += service.submit(user_id, context, timestamp)
             service.observe_session(user_id, context, timestamp, accessed)
         stream.flush()  # seed idiom: stream flushed while requests may be queued
-        service.flush()
-        predictions = service.drain_completed()
+        predictions += service.flush()
+        predictions += service.drain_completed()
         assert len(predictions) == len(events)
+        assert [p.timestamp for p in predictions] == [event[0] for event in events]
         np.testing.assert_allclose(
             np.asarray([p.probability for p in predictions]), reference, rtol=0, atol=1e-10
         )
@@ -409,15 +426,16 @@ class TestMicroBatchQueue:
         service = HiddenStateService(
             rnn.network, rnn.builder, store, stream, dataset.session_length, max_batch_size=16
         )
+        predictions = []
         for timestamp, user_id, context, accessed in events:
             # Submit first: the queue itself must flush past-due work and
             # fire the timers before this request can be enqueued.
-            service.submit(user_id, context, timestamp)
-            service.advance_to(timestamp)
+            predictions += service.submit(user_id, context, timestamp)
+            predictions += service.advance_to(timestamp)
             service.observe_session(user_id, context, timestamp, accessed)
-        service.flush()
+        predictions += service.flush()
         stream.flush()
-        predictions = service.drain_completed()
+        predictions += service.drain_completed()
         assert [(p.timestamp, p.user_id) for p in predictions] == [(e[0], e[1]) for e in events]
         probabilities = np.asarray([p.probability for p in predictions])
         np.testing.assert_allclose(probabilities, reference, rtol=0, atol=1e-10)
@@ -437,3 +455,75 @@ class TestMicroBatchQueue:
         # The flush triggered by predict() must not swallow the queued results.
         remaining = service.drain_completed()
         assert [(p.user_id, p.timestamp) for p in remaining] == [(u1, t1), (u2, t2)]
+
+
+class TestDrainedCursor:
+    """Regression pins for the exactly-once delivery contract.
+
+    PR 1 dual-delivered flush results (returned *and* retained), which made
+    "collect returns + drain periodically" double-count.  These tests pin the
+    replacement: a result returned from any public call never reappears.
+    """
+
+    def test_flush_results_never_reappear_in_drain(self, trained):
+        dataset, rnn, _, events = trained
+        store, stream = KeyValueStore(), StreamProcessor()
+        service = HiddenStateService(
+            rnn.network, rnn.builder, store, stream, dataset.session_length, max_batch_size=64
+        )
+        for timestamp, user_id, context, _ in events[:5]:
+            service.submit(user_id, context, timestamp)
+        flushed = service.flush()
+        assert len(flushed) == 5
+        assert service.drain_completed() == []
+        # A second flush with nothing pending delivers nothing.
+        assert service.flush() == []
+
+    def test_barrier_retained_results_drain_exactly_once(self, trained):
+        dataset, rnn, _, events = trained
+        store, stream = KeyValueStore(), StreamProcessor()
+        service = HiddenStateService(
+            rnn.network, rnn.builder, store, stream, dataset.session_length, max_batch_size=64
+        )
+        t1, u1, c1, _ = events[0]
+        stream.advance_to(t1)
+        service.submit(u1, c1, t1)
+        service.observe_session(u1, c1, t1, True)
+        # Drive the stream directly: the barrier flush has no caller, so the
+        # result must surface from drain_completed — exactly once.
+        stream.flush()
+        drained = service.drain_completed()
+        assert [(p.user_id, p.timestamp) for p in drained] == [(u1, t1)]
+        assert service.drain_completed() == []
+        assert service.engine.undelivered == 0
+
+    def test_barrier_for_user_surfaces_results_exactly_once(self, trained):
+        dataset, _, gbdt, events = trained
+        store = KeyValueStore()
+        service = AggregationFeatureService(
+            gbdt.featurizer, gbdt.estimator, dataset.schema, store, max_batch_size=64
+        )
+        t1, u1, c1, _ = events[0]
+        service.submit(u1, c1, t1)
+        # Delivering mode: the caller gets the result, drain stays empty.
+        delivered = service.engine.barrier_for_user(u1)
+        assert [(p.user_id, p.timestamp) for p in delivered] == [(u1, t1)]
+        assert service.drain_completed() == []
+        # Retaining mode (what observe_session uses): result drains once.
+        t2, u2, c2, _ = events[1]
+        service.submit(u2, c2, t2)
+        assert service.engine.barrier_for_user(u2, deliver=False) == []
+        service.observe_session(u2, c2, t2, True)
+        drained = service.drain_completed()
+        assert [(p.user_id, p.timestamp) for p in drained] == [(u2, t2)]
+        assert service.drain_completed() == []
+
+    def test_observe_session_barrier_does_not_lose_results(self, trained):
+        """The aggregation path's immediate-write barrier retains, not drops."""
+        dataset, _, gbdt, events = trained
+        store = KeyValueStore()
+        service = AggregationFeatureService(
+            gbdt.featurizer, gbdt.estimator, dataset.schema, store, max_batch_size=64
+        )
+        collected = replay_sessions_through_service(service, events[:40])
+        assert [(p.user_id, p.timestamp) for p in collected] == [(e[1], e[0]) for e in events[:40]]

@@ -1,6 +1,6 @@
 """Property-based tests for the serving substrate.
 
-Randomized invariants (fixed seeds, many trials) for the two components the
+Randomized invariants (fixed seeds, many trials) for the components the
 batched engine leans on:
 
 * ``serving/quantization.py`` — the int8 round trip must stay within half a
@@ -9,7 +9,10 @@ batched engine leans on:
 * ``serving/router.py`` — consistent hashing must give every key exactly one
   owner, keep that owner stable, move only the necessary keys when the pool
   is resized, and the per-shard meters must sum to exactly what a single
-  unsharded store would report for the same workload.
+  unsharded store would report for the same workload;
+* ``serving/batching.py`` — the queue's drained delivery cursor must hand
+  out every completed prediction exactly once, in submission order, no
+  matter how submits, flushes, drains and clock advances interleave.
 """
 
 from __future__ import annotations
@@ -21,7 +24,9 @@ from repro.serving import (
     ConsistentHashRing,
     CostParameters,
     KeyValueStore,
+    MicroBatchQueue,
     ShardedKeyValueStore,
+    StreamProcessor,
     dequantize_state,
     kv_traffic_cost,
     quantization_error,
@@ -189,3 +194,84 @@ class TestShardedStore:
     def test_invalid_shard_count_rejected(self):
         with pytest.raises(ValueError):
             ShardedKeyValueStore(n_shards=0)
+
+
+class _EchoBackend:
+    """Scores a batch by echoing (user_id, timestamp) — cheap enough for
+    thousands of randomized queue interleavings."""
+
+    def predict_batch(self, requests):
+        return [(request.user_id, request.timestamp) for request in requests]
+
+
+class TestDeliveryCursorProperty:
+    """Exactly-once, in-order delivery under randomized interleavings.
+
+    Each trial interleaves ``submit`` / ``flush`` / ``drain_completed`` /
+    ``advance_to`` (plus direct stream advances and timers, which trigger
+    callerless barrier flushes) and checks that concatenating everything any
+    call returned with a final drain yields every submitted request exactly
+    once, in submission order.
+    """
+
+    def _run_trial(self, rng):
+        stream = StreamProcessor()
+        queue = MicroBatchQueue(
+            _EchoBackend(), max_batch_size=int(rng.integers(1, 9)), stream=stream
+        )
+        clock = 0
+        submitted: list[tuple[int, int]] = []
+        collected: list[tuple[int, int]] = []
+        for _ in range(int(rng.integers(20, 60))):
+            action = rng.choice(["submit", "flush", "drain", "advance", "stream", "timer"])
+            if action == "submit":
+                user_id = int(rng.integers(0, 6))
+                collected += queue.submit(user_id, None, clock)
+                submitted.append((user_id, clock))
+            elif action == "flush":
+                collected += queue.flush()
+            elif action == "drain":
+                collected += queue.drain_completed()
+            elif action == "advance":
+                clock += int(rng.integers(0, 20))
+                collected += queue.advance_to(clock)
+            elif action == "stream":
+                # Caller drives the stream directly: barrier flushes retain.
+                clock += int(rng.integers(0, 20))
+                stream.advance_to(clock)
+            elif action == "timer":
+                stream.set_timer(clock + int(rng.integers(0, 30)), f"t{clock}", lambda k, e: None)
+        collected += queue.flush()
+        stream.flush()
+        collected += queue.drain_completed()
+        return submitted, collected, queue
+
+    def test_every_prediction_delivered_exactly_once_in_order(self):
+        for trial in range(60):
+            rng = np.random.default_rng(10_000 + trial)
+            submitted, collected, queue = self._run_trial(rng)
+            assert collected == submitted
+            assert queue.undelivered == 0 and queue.pending == 0
+
+    def test_predict_never_steals_or_duplicates(self):
+        for trial in range(40):
+            rng = np.random.default_rng(20_000 + trial)
+            queue = MicroBatchQueue(_EchoBackend(), max_batch_size=int(rng.integers(2, 6)))
+            submitted: list[tuple[int, int]] = []
+            collected: list[tuple[int, int]] = []
+            for step in range(int(rng.integers(10, 30))):
+                user_id = int(rng.integers(0, 6))
+                if rng.random() < 0.3:
+                    own = queue.predict(user_id, None, step)
+                    assert own == (user_id, step)
+                    submitted.append((user_id, step))
+                    collected.append(own)
+                else:
+                    collected += queue.submit(user_id, None, step)
+                    submitted.append((user_id, step))
+            collected += queue.flush()
+            collected += queue.drain_completed()
+            assert sorted(collected) == sorted(submitted)
+            # Out-of-order deliveries can only come from predict() jumping its
+            # own result ahead; everything else stays in submission order.
+            assert queue.undelivered == 0
