@@ -5,9 +5,9 @@ application start, decide whether to prefetch the tab's content.  The example
 
 1. trains an RNN access model on one population,
 2. picks the decision threshold from a 30% precompute budget,
-3. replays a live population through the *batched* hidden-state serving
-   service (micro-batch queue + key-value store + wave-coalescing stream
-   processor), and
+3. replays a live population through a facade-built `ServingEngine`
+   (micro-batch queue + key-value store + wave-coalescing stream
+   processor, assembled from one declarative `EngineConfig`), and
 4. reports prefetch outcomes and the serving cost footprint.
 
     python examples/mobiletab_prefetch.py
@@ -18,12 +18,7 @@ from __future__ import annotations
 from repro.core import BudgetPolicy
 from repro.data import make_dataset, sessions_in_time_order, user_split
 from repro.models import RNNModel, RNNModelConfig, TaskSpec
-from repro.serving import (
-    HiddenStateService,
-    KeyValueStore,
-    StreamProcessor,
-    replay_sessions_through_service,
-)
+from repro.serving import EngineConfig, ServingEngine
 
 
 def main() -> None:
@@ -40,23 +35,29 @@ def main() -> None:
     policy = BudgetPolicy(budget=0.3).fit(calibration.y_score)
     print(f"decision threshold at a 30% precompute budget: {policy.threshold:.3f}")
 
-    # Replay live users through the serving stack at production batch sizes:
-    # predictions coalesce in the micro-batch queue, session-end GRU updates
+    # Replay live users through the serving stack at production batch sizes.
+    # One declarative config, one facade: the engine assembles the KV store,
+    # the wave-coalescing stream, the batched backend and the micro-batch
+    # queue — predictions coalesce in the queue, session-end GRU updates
     # coalesce into stream timer waves.
-    store, stream = KeyValueStore(), StreamProcessor()
-    service = HiddenStateService(
-        model.network, model.builder, store, stream,
-        session_length=dataset.session_length, max_batch_size=32,
+    engine = ServingEngine.build(
+        EngineConfig(
+            backend="hidden_state",
+            max_batch_size=32,
+            session_length=dataset.session_length,
+        ),
+        network=model.network,
+        builder=model.builder,
     )
     # Replay every session in global time order — the stream clock is
-    # monotone, so per-user iteration would move it backwards.  The helper
+    # monotone, so per-user iteration would move it backwards.  The engine
     # collects every delivery from the drained cursor exactly once, in
     # submission order, so predictions line up with the events.
     events = [
         (int(timestamp), user.user_id, user.context_row(index), bool(user.accesses[index]))
         for timestamp, user, index in sessions_in_time_order(split.test.users)
     ]
-    predictions = replay_sessions_through_service(service, events)
+    predictions = engine.replay(events)
 
     prefetches = successful = accesses = 0
     for prediction, (_, _, _, accessed) in zip(predictions, events):
@@ -67,13 +68,14 @@ def main() -> None:
 
     precision = successful / prefetches if prefetches else 0.0
     recall = successful / accesses if accesses else 0.0
-    print(f"\nsessions served:        {service.predictions_served}")
-    print(f"mean prediction batch:  {service.engine.mean_batch_size:.1f}")
+    print(f"\nsessions served:        {engine.predictions_served}")
+    print(f"mean prediction batch:  {engine.mean_batch_size:.1f}")
     print(f"prefetches triggered:   {prefetches}")
     print(f"successful prefetches:  {successful}  (precision {precision:.1%}, recall {recall:.1%})")
-    print(f"hidden-state updates:   {service.updates_applied}  in {stream.waves_fired} timer waves")
+    print(f"hidden-state updates:   {engine.updates_applied}  in {engine.stream.waves_fired} timer waves")
     print(f"kv lookups per predict: 1   (traditional aggregation serving needs ~20)")
-    print(f"hidden-state storage:   {service.storage_bytes / max(len(split.test.users), 1):.0f} bytes/user")
+    print(f"hidden-state storage:   {engine.storage_bytes / max(len(split.test.users), 1):.0f} bytes/user")
+    engine.close()
 
 
 if __name__ == "__main__":

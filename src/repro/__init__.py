@@ -13,8 +13,10 @@ The package is organised bottom-up:
 * :mod:`repro.models` — the four access-probability models behind a common
   interface (percentage baseline, LR, GBDT, RNN).
 * :mod:`repro.core` — precompute trigger policies and outcome accounting.
-* :mod:`repro.serving` — key-value store, stream processing, hidden-state
-  vs aggregation-feature serving, cost model, online experiment.
+* :mod:`repro.serving` — the ``ServingEngine`` facade (declarative
+  ``EngineConfig`` → KV store, stream processing, micro-batch queue,
+  hidden-state vs aggregation-feature backends), cost model, online
+  experiment.
 * :mod:`repro.metrics` — PR curves, PR-AUC, recall at precision, log loss.
 * :mod:`repro.experiments` — one registered experiment per table/figure of
   the paper's evaluation.

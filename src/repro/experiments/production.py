@@ -14,8 +14,10 @@
   update-drain throughput (the stream's wave-coalesced timer scheduler
   batches session-end GRU updates), per-request KV traffic and measured
   serving cost as functions of the batch size, arrival pattern and shard
-  count.  ``python -m repro.experiments.production --smoke`` runs a small
-  version for CI.
+  count, plus a ``window_sweep`` scenario charting the coalescing-window
+  latency/wave-size trade-off.  ``python -m repro.experiments.production
+  --smoke`` runs a small version for CI; ``--engine`` builds every pipeline
+  through the :class:`~repro.serving.engine.ServingEngine` facade.
 """
 
 from __future__ import annotations
@@ -29,19 +31,17 @@ from ..data.tasks import session_examples
 from ..features import FeatureConfig, TabularFeaturizer
 from ..models import GBDTModel, RNNModel, RNNModelConfig, TaskSpec
 from ..serving import (
-    AggregationFeatureService,
     BatchedHiddenStateBackend,
     CostParameters,
-    HiddenStateService,
-    KeyValueStore,
+    EngineConfig,
     MicroBatchQueue,
     OnlineExperiment,
+    ServingEngine,
     SessionUpdate,
     ShardedKeyValueStore,
     StreamProcessor,
     estimate_serving_costs,
     kv_traffic_cost,
-    replay_sessions_through_service,
     rnn_prediction_flops,
 )
 from .results import ExperimentResult
@@ -103,24 +103,33 @@ def run_serving_cost(
     # Static (analytic) cost estimates.
     reports = estimate_serving_costs(rnn.network, gbdt.estimator, gbdt.featurizer, parameters=CostParameters())
 
-    # Dynamic replay through the serving services, metering actual KV traffic.
-    # Each service replays the same session stream in global time order (the
-    # stream clock is monotone) through the batched cursor surface; the
-    # hidden path's session-end updates arrive in wave-coalesced timer waves.
+    # Dynamic replay through facade-built engines, metering actual KV
+    # traffic.  Each engine replays the same session stream in global time
+    # order (the stream clock is monotone) through the batched cursor
+    # surface; the hidden path's session-end updates arrive in
+    # wave-coalesced timer waves.
     replay_users = split.test.users[:n_replay_users]
-    rnn_store, gbdt_store = KeyValueStore("rnn"), KeyValueStore("gbdt")
-    stream = StreamProcessor()
-    hidden_service = HiddenStateService(
-        rnn.network, rnn.builder, rnn_store, stream, session_length=dataset.session_length
+    hidden_engine = ServingEngine.build(
+        EngineConfig(backend="hidden_state", session_length=dataset.session_length, store_name="rnn"),
+        network=rnn.network,
+        builder=rnn.builder,
     )
-    aggregation_service = AggregationFeatureService(gbdt.featurizer, gbdt.estimator, dataset.schema, gbdt_store)
+    aggregation_engine = ServingEngine.build(
+        EngineConfig(backend="aggregation", store_name="gbdt"),
+        featurizer=gbdt.featurizer,
+        estimator=gbdt.estimator,
+        schema=dataset.schema,
+    )
+    rnn_store, gbdt_store = hidden_engine.store, aggregation_engine.store
 
     events = [
         (int(timestamp), user.user_id, user.context_row(index), bool(user.accesses[index]))
         for timestamp, user, index in sessions_in_time_order(replay_users)
     ]
-    replay_sessions_through_service(hidden_service, events)
-    replay_sessions_through_service(aggregation_service, events)
+    hidden_engine.replay(events)
+    aggregation_engine.replay(events)
+    hidden_engine.close()
+    aggregation_engine.close()
     predictions = len(events)
 
     result = ExperimentResult(
@@ -180,9 +189,11 @@ def run_batched_serving(
     n_shards: int = 4,
     hidden_size: int = 24,
     seed: int = 0,
-    scenarios: tuple[str, ...] = ("poisson", "bursty"),
+    scenarios: tuple[str, ...] = ("poisson", "bursty", "window_sweep"),
     burst_size: int = 64,
     burst_spacing: int = 30,
+    coalescing_windows: tuple[int, ...] | None = None,
+    via_engine: bool = False,
 ) -> ExperimentResult:
     """Load generator for the batched, sharded hidden-state engine.
 
@@ -203,14 +214,28 @@ def run_batched_serving(
     scheduler pays off, because every burst's windows close in the same
     second.  (Arrival spans are kept shorter than the session window so no
     timer fires mid-serve and the serve-phase metering stays pure.)
+
+    The ``window_sweep`` scenario replays bursty arrivals at the largest
+    batch size across several ``coalescing_windows`` (default ``(0,
+    burst_spacing, 4 * burst_spacing)``), reporting the latency/wave-size
+    trade-off: a wider window absorbs more bursts per wave (bigger batched
+    updates, fewer deliveries) at the price of ``mean_update_delay`` —
+    simulated seconds each update waited past its own fire time.
+
+    ``via_engine=True`` builds each pipeline through the
+    :class:`~repro.serving.engine.ServingEngine` facade instead of
+    hand-wiring backend + queue; the two constructions are pinned
+    bit-identical, so this only changes which code path CI exercises.
     """
     if not batch_sizes:
         raise ValueError("at least one batch size is required")
     if not scenarios:
         raise ValueError("at least one scenario is required")
-    unknown = set(scenarios) - {"poisson", "bursty"}
+    unknown = set(scenarios) - {"poisson", "bursty", "window_sweep"}
     if unknown:
         raise ValueError(f"unknown scenarios: {sorted(unknown)}")
+    if coalescing_windows is None:
+        coalescing_windows = (0, burst_spacing, 4 * burst_spacing)
     extra_lag = 60  # BatchedHiddenStateBackend default
     dataset = make_dataset("mobiletab", seed=seed, n_users=n_users)
 
@@ -224,6 +249,7 @@ def run_batched_serving(
         if scenario == "poisson":
             offsets = _poisson_arrivals(rng, 0, n_requests, arrival_rate)
         else:
+            # "bursty" and "window_sweep" share the synchronized-burst shape.
             offsets = _bursty_arrivals(rng, 0, n_requests, burst_size, burst_spacing)
         span = int(offsets[-1] - offsets[0])
         if span >= dataset.session_length + extra_lag:
@@ -267,7 +293,8 @@ def run_batched_serving(
         experiment_id="batched_serving",
         description=(
             f"Micro-batched hidden-state serving with wave-coalesced updates "
-            f"({n_requests} requests/scenario, {n_shards} shards)"
+            f"({n_requests} requests/scenario, {n_shards} shards"
+            f"{', facade-built' if via_engine else ''})"
         ),
         paper_reference=(
             "Paper Section 9 serves the hidden-state path one request (and one session-end "
@@ -275,82 +302,130 @@ def run_batched_serving(
             "timer waves batches both dataflows while leaving per-request KV traffic unchanged"
         ),
     )
-    prediction_speedups: dict[str, float] = {}
-    update_speedups: dict[str, float] = {}
-    for scenario, requests in streams_by_scenario.items():
-        serve_throughputs: dict[int, float] = {}
-        drain_throughputs: dict[int, float] = {}
-        for batch_size in batch_sizes:
-            store = ShardedKeyValueStore(n_shards, name=f"rnn-{scenario}-b{batch_size}")
-            stream = StreamProcessor()
-            # batch_size 1 is the seed baseline on both dataflows: single
-            # request scoring and one timer callback per session-end update.
+
+    def run_replay(scenario: str, requests, batch_size: int, window: int) -> dict:
+        """One replay: build the pipeline, serve every request, drain the updates."""
+        store_name = f"rnn-{scenario}-b{batch_size}" + (f"-w{window}" if window else "")
+        # batch_size 1 is the seed baseline on both dataflows: single
+        # request scoring and one timer callback per session-end update.
+        coalesce = batch_size > 1
+        if via_engine:
+            engine = ServingEngine.build(
+                EngineConfig(
+                    backend="hidden_state",
+                    max_batch_size=batch_size,
+                    coalescing_window=window,
+                    n_shards=n_shards,
+                    session_length=dataset.session_length,
+                    coalesce_updates=coalesce,
+                    store_name=store_name,
+                ),
+                network=rnn.network,
+                builder=rnn.builder,
+            )
+            backend, queue, store, stream = engine.backend, engine.queue, engine.store, engine.stream
+        else:
+            store = ShardedKeyValueStore(n_shards, name=store_name)
+            stream = StreamProcessor(coalescing_window=window)
             backend = BatchedHiddenStateBackend(
                 rnn.network,
                 rnn.builder,
                 store,
                 stream,
                 session_length=dataset.session_length,
-                coalesce_updates=batch_size > 1,
+                coalesce_updates=coalesce,
             )
             queue = MicroBatchQueue(backend, max_batch_size=batch_size, stream=stream)
-            # Warm each user's state so serving fetches hit real records.
-            backend.apply_updates(
-                [
-                    SessionUpdate(user_id=user.user_id, timestamp=start - 3600, context=user.context_row(0), accessed=True)
-                    for user in active_users
-                ]
-            )
-            store.reset_stats()
-            warm_updates = backend.updates_applied
+        # Warm each user's state so serving fetches hit real records.
+        backend.apply_wave(
+            [
+                SessionUpdate(user_id=user.user_id, timestamp=start - 3600, context=user.context_row(0), accessed=True)
+                for user in active_users
+            ]
+        )
+        store.reset_stats()
+        warm_updates = backend.updates_applied
 
-            served = []
-            serve_start = time.perf_counter()
-            for arrival, user_id, context, accessed in requests:
-                served += queue.advance_to(arrival)
-                served += queue.submit(user_id, context, arrival)
-                backend.observe_session(user_id, context, arrival, accessed)
-            served += queue.flush()
-            serve_seconds = time.perf_counter() - serve_start
-            served += queue.drain_completed()
-            # Snapshot before the update drain so the serve-phase metering is
-            # pure prediction traffic (no timer fires mid-serve: the arrival
-            # span is shorter than session_length + extra_lag).
-            serve_stats = store.stats.snapshot()
+        served = []
+        serve_start = time.perf_counter()
+        for arrival, user_id, context, accessed in requests:
+            served += queue.advance_to(arrival)
+            served += queue.submit(user_id, context, arrival)
+            backend.observe_session(user_id, context, arrival, accessed)
+        served += queue.flush()
+        serve_seconds = time.perf_counter() - serve_start
+        served += queue.drain_completed()
+        # Snapshot before the update drain so the serve-phase metering is
+        # pure prediction traffic (no timer fires mid-serve: the arrival
+        # span is shorter than session_length + extra_lag).
+        serve_stats = store.stats.snapshot()
 
-            # Drain the session-end updates through the stream: waves of
-            # closed sessions (or one timer at a time at batch size 1).
-            waves_before = stream.waves_fired
-            drain_start = time.perf_counter()
-            stream.flush()
-            drain_seconds = time.perf_counter() - drain_start
-            updates_applied = backend.updates_applied - warm_updates
-            drain_waves = stream.waves_fired - waves_before
+        # Drain the session-end updates through the stream: waves of
+        # closed sessions (or one timer at a time at batch size 1).
+        waves_before = stream.waves_fired
+        drain_start = time.perf_counter()
+        stream.flush()
+        drain_seconds = time.perf_counter() - drain_start
+        updates_applied = backend.updates_applied - warm_updates
+        assert len(served) == n_requests and backend.predictions_served == n_requests
+        assert updates_applied == n_requests
+        cost_per_request = (
+            kv_traffic_cost(serve_stats) / len(served)
+            + CostParameters().flop_cost * rnn_prediction_flops(rnn.network)
+        )
+        return {
+            "serve_throughput": len(served) / serve_seconds if serve_seconds > 0 else float("inf"),
+            "drain_throughput": updates_applied / drain_seconds if drain_seconds > 0 else float("inf"),
+            "mean_wave": updates_applied / max(stream.waves_fired - waves_before, 1),
+            "mean_update_delay": backend.update_delay_seconds / updates_applied,
+            "kv_gets_per_request": serve_stats["gets"] / len(served),
+            "bytes_per_request": serve_stats["bytes_read"] / len(served),
+            "cost_per_request": cost_per_request,
+            "mean_batch": queue.mean_batch_size,
+            "load_imbalance": store.load_imbalance(),
+        }
 
-            throughput = len(served) / serve_seconds if serve_seconds > 0 else float("inf")
-            serve_throughputs[batch_size] = throughput
-            drain_throughput = updates_applied / drain_seconds if drain_seconds > 0 else float("inf")
-            drain_throughputs[batch_size] = drain_throughput
-            cost_per_request = (
-                kv_traffic_cost(serve_stats) / len(served)
-                + CostParameters().flop_cost * rnn_prediction_flops(rnn.network)
-            )
+    prediction_speedups: dict[str, float] = {}
+    update_speedups: dict[str, float] = {}
+    for scenario, requests in streams_by_scenario.items():
+        if scenario == "window_sweep":
+            # Latency vs wave-size trade-off: same bursty stream, same batch
+            # size, widening coalescing windows.
+            sweep_batch = max(batch_sizes)
+            for window in coalescing_windows:
+                measured = run_replay(scenario, requests, sweep_batch, window)
+                result.rows.append(
+                    {
+                        "scenario": scenario,
+                        "batch_size": sweep_batch,
+                        "coalescing_window": window,
+                        "requests_per_second": round(measured["serve_throughput"], 1),
+                        "updates_per_second": round(measured["drain_throughput"], 1),
+                        "mean_wave": round(measured["mean_wave"], 1),
+                        "mean_update_delay": round(measured["mean_update_delay"], 2),
+                    }
+                )
+            continue
+        serve_throughputs: dict[int, float] = {}
+        drain_throughputs: dict[int, float] = {}
+        for batch_size in batch_sizes:
+            measured = run_replay(scenario, requests, batch_size, 0)
+            serve_throughputs[batch_size] = measured["serve_throughput"]
+            drain_throughputs[batch_size] = measured["drain_throughput"]
             result.rows.append(
                 {
                     "scenario": scenario,
                     "batch_size": batch_size,
-                    "requests_per_second": round(throughput, 1),
-                    "updates_per_second": round(drain_throughput, 1),
-                    "mean_wave": round(updates_applied / max(drain_waves, 1), 1),
-                    "kv_gets_per_request": round(serve_stats["gets"] / len(served), 3),
-                    "bytes_per_request": round(serve_stats["bytes_read"] / len(served), 1),
-                    "cost_per_request": round(cost_per_request, 1),
-                    "mean_batch": round(queue.mean_batch_size, 1),
-                    "load_imbalance": round(store.load_imbalance(), 3),
+                    "requests_per_second": round(measured["serve_throughput"], 1),
+                    "updates_per_second": round(measured["drain_throughput"], 1),
+                    "mean_wave": round(measured["mean_wave"], 1),
+                    "kv_gets_per_request": round(measured["kv_gets_per_request"], 3),
+                    "bytes_per_request": round(measured["bytes_per_request"], 1),
+                    "cost_per_request": round(measured["cost_per_request"], 1),
+                    "mean_batch": round(measured["mean_batch"], 1),
+                    "load_imbalance": round(measured["load_imbalance"], 3),
                 }
             )
-            assert len(served) == n_requests and backend.predictions_served == n_requests
-            assert updates_applied == n_requests
         prediction_speedups[scenario] = round(
             serve_throughputs[max(batch_sizes)] / serve_throughputs[min(batch_sizes)], 2
         )
@@ -362,7 +437,13 @@ def run_batched_serving(
         "n_shards": n_shards,
         "arrival_rate": arrival_rate,
         "burst_size": burst_size,
-        "throughput_speedup": prediction_speedups.get("poisson", max(prediction_speedups.values())),
+        "coalescing_windows": list(coalescing_windows) if "window_sweep" in scenarios else [],
+        "via_engine": via_engine,
+        "throughput_speedup": (
+            prediction_speedups.get("poisson", max(prediction_speedups.values()))
+            if prediction_speedups
+            else None
+        ),
         "prediction_speedups": prediction_speedups,
         "update_drain_speedups": update_speedups,
     }
@@ -416,16 +497,23 @@ def main(argv: list[str] | None = None) -> None:
         action="store_true",
         help="small fast configuration that still exercises both scenarios and the wave path",
     )
+    parser.add_argument(
+        "--engine",
+        action="store_true",
+        help="build every pipeline through the ServingEngine facade instead of hand-wiring",
+    )
     args = parser.parse_args(argv)
     kwargs = (
         dict(n_users=16, n_requests=256, batch_sizes=(1, 32), burst_size=32, burst_spacing=15)
         if args.smoke
         else {}
     )
-    result = run_batched_serving(**kwargs)
+    result = run_batched_serving(via_engine=args.engine, **kwargs)
     print(result.format_table())
     print(f"  prediction speedups: {result.metadata['prediction_speedups']}")
     print(f"  update-drain speedups: {result.metadata['update_drain_speedups']}")
+    if args.engine:
+        print("  pipelines built via ServingEngine.build (facade path)")
 
 
 if __name__ == "__main__":

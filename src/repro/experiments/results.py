@@ -27,7 +27,9 @@ class ExperimentResult:
         """Render the rows as a fixed-width text table."""
         if not self.rows:
             return f"[{self.experiment_id}] (no rows)"
-        columns = list(self.rows[0].keys())
+        # Union of keys in first-seen order: heterogeneous rows (e.g. the
+        # window_sweep scenario's extra columns) must not drop columns.
+        columns = list(dict.fromkeys(key for row in self.rows for key in row))
         widths = {
             column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in self.rows))
             for column in columns

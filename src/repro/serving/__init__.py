@@ -1,12 +1,33 @@
-"""Serving substrate: KV store, sharded router, stream processing, batched engine, cost model."""
+"""Serving substrate behind one facade: ``ServingEngine`` built from ``EngineConfig``.
 
+The public API is curated, not a module dump.  New code constructs
+pipelines only through the facade (``ServingEngine.build``); the component
+classes stay exported for tests, extension backends and introspection, and
+the pre-facade service constructors remain as deprecation shims.
+"""
+
+# --- The facade (start here) -----------------------------------------
+from .engine import BACKEND_KINDS, Backend, EngineConfig, ServingEngine
+
+# --- Engine components: queue, backends, request/response records -----
 from .batching import (
     BatchedAggregationBackend,
     BatchedHiddenStateBackend,
     MicroBatchQueue,
     ServingRequest,
+    SessionStreamMixin,
     SessionUpdate,
 )
+from .services import AggregationFeatureService, HiddenStateService, ServingPrediction
+
+# --- Storage: metered KV store and the consistent-hash shard pool -----
+from .kvstore import KeyValueStore, KVStats
+from .router import ConsistentHashRing, ShardedKeyValueStore
+
+# --- Stream processing: session joins, timer waves, barriers ----------
+from .stream import StreamEvent, StreamProcessor, TimerFiring, TimerGroup
+
+# --- Cost model and state quantization --------------------------------
 from .cost import (
     CostParameters,
     ServingCostReport,
@@ -15,46 +36,56 @@ from .cost import (
     kv_traffic_cost,
     rnn_prediction_flops,
 )
-from .kvstore import KeyValueStore, KVStats
+from .quantization import dequantize_state, quantization_error, quantize_state
+
+# --- Online replay / experiment harness -------------------------------
 from .online import (
     OnlineArmResult,
     OnlineExperiment,
     OnlineExperimentReport,
     replay_sessions_through_service,
 )
-from .quantization import dequantize_state, quantization_error, quantize_state
-from .router import ConsistentHashRing, ShardedKeyValueStore
-from .services import AggregationFeatureService, HiddenStateService, ServingPrediction
-from .stream import StreamEvent, StreamProcessor, TimerFiring, TimerGroup
 
 __all__ = [
-    "BatchedAggregationBackend",
-    "BatchedHiddenStateBackend",
+    # facade
+    "ServingEngine",
+    "EngineConfig",
+    "Backend",
+    "BACKEND_KINDS",
+    # engine components
     "MicroBatchQueue",
+    "BatchedHiddenStateBackend",
+    "BatchedAggregationBackend",
+    "SessionStreamMixin",
     "ServingRequest",
+    "ServingPrediction",
     "SessionUpdate",
+    # deprecated hand-wired constructors (shims over the facade)
+    "HiddenStateService",
+    "AggregationFeatureService",
+    # storage
+    "KeyValueStore",
+    "KVStats",
+    "ConsistentHashRing",
+    "ShardedKeyValueStore",
+    # stream
+    "StreamEvent",
+    "StreamProcessor",
+    "TimerFiring",
+    "TimerGroup",
+    # cost + quantization
     "CostParameters",
     "ServingCostReport",
     "estimate_serving_costs",
     "gbdt_prediction_flops",
     "kv_traffic_cost",
     "rnn_prediction_flops",
-    "KeyValueStore",
-    "KVStats",
-    "OnlineArmResult",
-    "OnlineExperiment",
-    "OnlineExperimentReport",
-    "replay_sessions_through_service",
+    "quantize_state",
     "dequantize_state",
     "quantization_error",
-    "quantize_state",
-    "ConsistentHashRing",
-    "ShardedKeyValueStore",
-    "AggregationFeatureService",
-    "HiddenStateService",
-    "ServingPrediction",
-    "StreamEvent",
-    "StreamProcessor",
-    "TimerFiring",
-    "TimerGroup",
+    # online replay / experiments
+    "OnlineExperiment",
+    "OnlineExperimentReport",
+    "OnlineArmResult",
+    "replay_sessions_through_service",
 ]

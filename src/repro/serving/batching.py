@@ -23,10 +23,13 @@ Three pieces:
   With ``max_batch_size=1`` it degenerates to the seed's single-request
   behaviour, which is how the public services wrap it.
 
-Both serving dataflows are batched: predictions coalesce in the queue, and
-session-end GRU updates arrive from the stream's wave-coalesced timer
-scheduler (:meth:`StreamProcessor.timer_group`) as whole waves applied in one
-``[B, hidden]`` step.  Delivery of completed predictions follows a drained
+Both serving dataflows are batched symmetrically: predictions coalesce in
+the queue, and session-end updates arrive from the stream's wave-coalesced
+timer scheduler (:meth:`StreamProcessor.timer_group`) through each backend's
+``apply_wave`` — one ``[B, hidden]`` GRU step for the hidden path, one run
+of history writes for the aggregation path (:class:`SessionStreamMixin`
+carries the shared publish/join/deliver machinery).  Delivery of completed
+predictions follows a drained
 cursor: every prediction is handed out exactly once, in submission order,
 either as the return value of the call that completed it or — for flushes
 with no caller, like stream barriers — from :meth:`MicroBatchQueue.drain_completed`.
@@ -57,6 +60,7 @@ __all__ = [
     "ServingRequest",
     "ServingPrediction",
     "SessionUpdate",
+    "SessionStreamMixin",
     "BatchedHiddenStateBackend",
     "BatchedAggregationBackend",
     "MicroBatchQueue",
@@ -93,7 +97,77 @@ class SessionUpdate:
     accessed: bool
 
 
-class BatchedHiddenStateBackend:
+class SessionStreamMixin:
+    """Stream-delivered session-end updates, shared by both backends.
+
+    This is the symmetric half of the :class:`~repro.serving.engine.Backend`
+    protocol: ``observe_session`` publishes the session's context and access
+    events under a sequence-numbered key and schedules the join at window
+    close; when the wave (or single timer) fires, the joined
+    :class:`SessionUpdate` batch reaches the backend through one entry point,
+    ``apply_wave``.  The session key carries a sequence number so two
+    sessions observed for the same (user, second) stay distinct: a bare
+    ``session:{user}:{timestamp}`` key would merge their events under one
+    buffer and leave the second timer an empty join.
+
+    Hosts must provide ``stream``-independent attributes ``session_length``
+    and ``extra_lag`` plus an ``apply_wave(list[SessionUpdate])`` method;
+    :meth:`_init_session_delivery` wires the timer group (or per-timer
+    fallback) and the ``update_delay_seconds`` meter — the simulated seconds
+    updates spent waiting for their wave to close, the latency cost a wider
+    ``coalescing_window`` pays for bigger waves.
+    """
+
+    def _init_session_delivery(self, stream: StreamProcessor | None, coalesce_updates: bool) -> None:
+        self.stream = stream
+        self.coalesce_updates = bool(coalesce_updates) and stream is not None
+        self._timer_group = stream.timer_group(self._on_wave) if self.coalesce_updates else None
+        self._session_seq = itertools.count()
+        self.update_delay_seconds = 0
+
+    def _publish_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
+        key = f"session:{user_id}:{timestamp}:{next(self._session_seq)}"
+        self.stream.publish(
+            StreamEvent(topic="context", key=key, timestamp=timestamp, payload={"user_id": user_id, "context": context})
+        )
+        self.stream.publish(
+            StreamEvent(topic="access", key=key, timestamp=timestamp, payload={"accessed": bool(accessed)})
+        )
+        fire_at = timestamp + self.session_length + self.extra_lag
+        if self._timer_group is not None:
+            self._timer_group.set_timer(fire_at, key, payload=(user_id, timestamp))
+        else:
+            self.stream.set_timer(
+                fire_at, key, lambda _key, events, u=user_id, t=timestamp: self._on_timer(u, t, events)
+            )
+
+    @staticmethod
+    def _session_update(user_id: int, timestamp: int, events: list[StreamEvent]) -> SessionUpdate:
+        """Join a session's buffered stream events into one observation."""
+        context: dict[str, float] = {}
+        accessed = False
+        for event in events:
+            if event.topic == "context":
+                context = event.payload["context"]
+            elif event.topic == "access":
+                accessed = accessed or bool(event.payload["accessed"])
+        return SessionUpdate(user_id=user_id, timestamp=timestamp, context=context, accessed=accessed)
+
+    def _on_timer(self, user_id: int, timestamp: int, events: list[StreamEvent]) -> None:
+        self.apply_wave([self._session_update(user_id, timestamp, events)])
+
+    def _on_wave(self, firings: list[TimerFiring]) -> None:
+        """Group callback: one stream wave of closed sessions, one batched apply.
+
+        At delivery the stream clock sits at the wave's last fire time, so
+        ``clock - fire_at`` is exactly how long each update waited for the
+        coalescing window to close.
+        """
+        self.update_delay_seconds += sum(self.stream.clock - firing.fire_at for firing in firings)
+        self.apply_wave([self._session_update(*firing.payload, firing.events) for firing in firings])
+
+
+class BatchedHiddenStateBackend(SessionStreamMixin):
     """Vectorized hidden-state dataflow: fetch B states, one batched forward.
 
     Each request still pays one KV fetch for its user's state record (that is
@@ -129,13 +203,10 @@ class BatchedHiddenStateBackend:
         self.network = network
         self.builder = builder
         self.store = store
-        self.stream = stream
         self.session_length = session_length
         self.quantize = quantize
         self.extra_lag = extra_lag
-        self.coalesce_updates = coalesce_updates
-        self._timer_group = stream.timer_group(self._on_wave) if coalesce_updates else None
-        self._session_seq = itertools.count()
+        self._init_session_delivery(stream, coalesce_updates)
         self.predictions_served = 0
         self.updates_applied = 0
 
@@ -209,51 +280,10 @@ class BatchedHiddenStateBackend:
     # Session-end updates
     # ------------------------------------------------------------------
     def observe_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
-        """Publish the session to the stream; the hidden update fires after the window closes.
+        """Publish the session to the stream; the hidden update fires after the window closes."""
+        self._publish_session(user_id, context, timestamp, accessed)
 
-        The session key carries a sequence number so two sessions observed
-        for the same (user, second) stay distinct: the seed's bare
-        ``session:{user}:{timestamp}`` key merged their events under one
-        buffer and left the second timer an empty join (a crash once bursty
-        load generators made the collision likely).
-        """
-        key = f"session:{user_id}:{timestamp}:{next(self._session_seq)}"
-        self.stream.publish(
-            StreamEvent(topic="context", key=key, timestamp=timestamp, payload={"user_id": user_id, "context": context})
-        )
-        self.stream.publish(
-            StreamEvent(topic="access", key=key, timestamp=timestamp, payload={"accessed": bool(accessed)})
-        )
-        fire_at = timestamp + self.session_length + self.extra_lag
-        if self._timer_group is not None:
-            self._timer_group.set_timer(fire_at, key, payload=(user_id, timestamp))
-        else:
-            self.stream.set_timer(
-                fire_at, key, lambda _key, events, u=user_id, t=timestamp: self._on_timer(u, t, events)
-            )
-
-    @staticmethod
-    def _session_update(user_id: int, timestamp: int, events: list[StreamEvent]) -> SessionUpdate:
-        """Join a session's buffered stream events into one observation."""
-        context: dict[str, float] = {}
-        accessed = False
-        for event in events:
-            if event.topic == "context":
-                context = event.payload["context"]
-            elif event.topic == "access":
-                accessed = accessed or bool(event.payload["accessed"])
-        return SessionUpdate(user_id=user_id, timestamp=timestamp, context=context, accessed=accessed)
-
-    def _on_timer(self, user_id: int, timestamp: int, events: list[StreamEvent]) -> None:
-        self.apply_updates([self._session_update(user_id, timestamp, events)])
-
-    def _on_wave(self, firings: list[TimerFiring]) -> None:
-        """Group callback: one stream wave of closed sessions, one batched update."""
-        self.apply_updates(
-            [self._session_update(*firing.payload, firing.events) for firing in firings]
-        )
-
-    def apply_updates(self, updates: list[SessionUpdate]) -> None:
+    def apply_wave(self, updates: list[SessionUpdate]) -> None:
         """Run the GRU update for a batch of closed sessions.
 
         Updates to the *same* user are state-dependent, so the batch is
@@ -281,12 +311,16 @@ class BatchedHiddenStateBackend:
                 else:
                     seen.add(updates[index].user_id)
                     wave.append(index)
-            self._apply_wave(
+            self._apply_distinct_users(
                 [updates[index] for index in wave], features[wave], accesses[wave]
             )
             pending = held
 
-    def _apply_wave(self, wave: list[SessionUpdate], features: np.ndarray, accesses: np.ndarray) -> None:
+    # Back-compat alias from before ``apply_wave`` became the Backend
+    # protocol's symmetric entry point.
+    apply_updates = apply_wave
+
+    def _apply_distinct_users(self, wave: list[SessionUpdate], features: np.ndarray, accesses: np.ndarray) -> None:
         config = self.network.config
         states = np.empty((len(wave), self.network.state_size))
         deltas = np.zeros(len(wave))
@@ -308,13 +342,26 @@ class BatchedHiddenStateBackend:
         return self.store.bytes_for_prefix("hidden:")
 
 
-class BatchedAggregationBackend:
+class BatchedAggregationBackend(SessionStreamMixin):
     """Vectorized traditional dataflow: per-user feature fetch, one batched GBDT call.
 
     Feature state is inherently per-user (the ≈20 aggregation-group fetches
     per request are the dominant cost and are preserved exactly), but the
     estimator call — tree traversals or the logistic dot product — runs once
     over the stacked ``[B, n_features]`` matrix.
+
+    Session-end history writes have two delivery modes, mirroring the hidden
+    path's wave machinery:
+
+    * **Immediate** (``stream=None``, the seed semantics and the default) —
+      ``observe_session`` applies the history write right away; the serving
+      layer must barrier queued predictions for that user first.
+    * **Stream-delivered** (``stream`` given, ``session_length`` required) —
+      ``observe_session`` publishes to the stream exactly like the hidden
+      path and the write lands at window close, as part of a timer wave
+      (``coalesce_updates=True``) or one timer at a time.  Either way each
+      update still pays one history fetch and one write, so wave delivery is
+      bit-identical to per-timer delivery in every observable.
     """
 
     def __init__(
@@ -325,12 +372,21 @@ class BatchedAggregationBackend:
         store,
         *,
         history_window: int = 28 * 86400,
+        stream: StreamProcessor | None = None,
+        session_length: int | None = None,
+        extra_lag: int = 60,
+        coalesce_updates: bool = True,
     ) -> None:
+        if stream is not None and session_length is None:
+            raise ValueError("stream-delivered session updates need a session_length")
         self.featurizer = featurizer
         self.estimator = estimator
         self.schema = schema
         self.store = store
         self.history_window = history_window
+        self.session_length = session_length
+        self.extra_lag = extra_lag
+        self._init_session_delivery(stream, coalesce_updates)
         self.predictions_served = 0
         self.updates_applied = 0
 
@@ -403,20 +459,38 @@ class BatchedAggregationBackend:
 
     # ------------------------------------------------------------------
     def observe_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
-        record, _ = self._load_history(user_id)
-        record["timestamps"].append(int(timestamp))
-        record["accesses"].append(int(bool(accessed)))
-        for name in self.schema.names():
-            record["context"][name].append(context[name])
-        # Evict events older than the longest aggregation window.
-        cutoff = timestamp - self.history_window
-        while record["timestamps"] and record["timestamps"][0] < cutoff:
-            record["timestamps"].pop(0)
-            record["accesses"].pop(0)
+        if self.stream is not None:
+            self._publish_session(user_id, context, timestamp, accessed)
+            return
+        self.apply_wave(
+            [SessionUpdate(user_id=user_id, timestamp=timestamp, context=context, accessed=accessed)]
+        )
+
+    def apply_wave(self, updates: list[SessionUpdate]) -> None:
+        """Apply a wave of session-end history writes in delivery order.
+
+        Each update is one read-modify-write of its user's rolling history —
+        the same KV traffic the per-timer (and seed immediate) path pays, so
+        delivery batching stays invisible to the meters; the wave only
+        amortises the Python round-trip from the stream into the backend.
+        Same-user updates inside a wave apply in order, so the stored history
+        is identical to applying them one at a time.
+        """
+        for update in updates:
+            record, _ = self._load_history(update.user_id)
+            record["timestamps"].append(int(update.timestamp))
+            record["accesses"].append(int(bool(update.accessed)))
             for name in self.schema.names():
-                record["context"][name].pop(0)
-        self._save_history(user_id, record)
-        self.updates_applied += 1
+                record["context"][name].append(update.context[name])
+            # Evict events older than the longest aggregation window.
+            cutoff = update.timestamp - self.history_window
+            while record["timestamps"] and record["timestamps"][0] < cutoff:
+                record["timestamps"].pop(0)
+                record["accesses"].pop(0)
+                for name in self.schema.names():
+                    record["context"][name].pop(0)
+            self._save_history(update.user_id, record)
+        self.updates_applied += len(updates)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,398 @@
+"""Unified serving facade: one declarative config, one lifecycle, two backends.
+
+PRs 1–2 grew the Section 9 serving layer into five cooperating pieces — the
+micro-batch queue, the wave-coalescing stream, the consistent-hash router,
+two batched backends and the cost meters — and every consumer hand-wired
+them in a slightly different order.  :class:`ServingEngine` is the single
+front door: a declarative :class:`EngineConfig` says *what* to build (batch
+size, coalescing window, shard count, backend kind, quantization) and
+:meth:`ServingEngine.build` assembles the exact same composition the
+hand-wired call sites used, so facade-built pipelines are bit-identical to
+hand-wired ones in every observable (pinned by ``tests/test_engine.py``).
+
+The lifecycle is ``build → submit/replay → flush/drain → close``:
+
+* :meth:`ServingEngine.build` — construct store, stream, backend and queue
+  from the config (or adopt caller-provided ones).
+* :meth:`~ServingEngine.submit` / :meth:`~ServingEngine.advance_to` /
+  :meth:`~ServingEngine.predict` / :meth:`~ServingEngine.observe_session` —
+  live traffic; :meth:`~ServingEngine.replay` drives a whole session stream
+  through the shared replay idiom.
+* :meth:`~ServingEngine.flush` / :meth:`~ServingEngine.drain_completed` —
+  deliver what is still queued or uncollected (the drained-cursor
+  exactly-once contract is the queue's, unchanged).
+* :meth:`~ServingEngine.close` — deregister the queue's stream barrier and
+  refuse further traffic; idempotent.
+
+Both dataflows implement the same :class:`Backend` protocol, including the
+wave entry point ``apply_wave`` — session-end history writes on the
+aggregation path batch exactly like GRU updates on the hidden path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Protocol, runtime_checkable
+
+from .batching import (
+    BatchedAggregationBackend,
+    BatchedHiddenStateBackend,
+    MicroBatchQueue,
+    ServingPrediction,
+    ServingRequest,
+    SessionUpdate,
+)
+from .kvstore import KeyValueStore
+from .online import replay_sessions_through_service
+from .router import ShardedKeyValueStore
+from .stream import StreamProcessor
+
+__all__ = ["Backend", "EngineConfig", "ServingEngine", "BACKEND_KINDS", "store_topology"]
+
+BACKEND_KINDS = ("hidden_state", "aggregation")
+
+
+def store_topology(store) -> tuple[int | None, str]:
+    """``(n_shards, store_name)`` as an :class:`EngineConfig` would describe ``store``.
+
+    Used to keep a caller-supplied store and the declarative config in
+    agreement: ``ServingEngine.build`` rejects contradictions, and the
+    deprecation shims adopt the caller store's topology into their config.
+    """
+    return getattr(store, "n_shards", None), getattr(store, "name", "engine")
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """What a serving dataflow must expose to live behind the facade.
+
+    Both built-in backends (:class:`BatchedHiddenStateBackend`,
+    :class:`BatchedAggregationBackend`) implement it symmetrically: batched
+    prediction scoring, session-end observation, and **wave application** —
+    a list of joined :class:`SessionUpdate` records delivered together by
+    the stream's wave-coalesced timer scheduler and applied as one batch.
+    """
+
+    predictions_served: int
+    updates_applied: int
+    update_delay_seconds: int
+
+    def predict_batch(self, requests: list[ServingRequest]) -> list[ServingPrediction]:
+        """Score a micro-batch of queued requests."""
+        ...
+
+    def observe_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
+        """Record a finished session (immediately or via the stream)."""
+        ...
+
+    def apply_wave(self, updates: list[SessionUpdate]) -> None:
+        """Apply one wave of session-end updates as a single batch."""
+        ...
+
+    @property
+    def storage_bytes(self) -> int:
+        """Bytes of per-user state this backend keeps in the store."""
+        ...
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Declarative description of a serving pipeline.
+
+    Everything here is a plain value, so a config round-trips through
+    :meth:`to_dict` / :meth:`from_dict` (e.g. for experiment manifests);
+    model objects are supplied separately to :meth:`ServingEngine.build`.
+
+    ``defer_updates`` selects the aggregation path's session-end delivery:
+    ``False``/``None`` keeps the seed's immediate history writes, ``True``
+    routes them through the stream so they land at window close in timer
+    waves, exactly like the hidden path (which is always deferred — that is
+    the paper's dataflow, so ``defer_updates=False`` is rejected there).
+    """
+
+    backend: str = "hidden_state"
+    max_batch_size: int = 1
+    coalescing_window: int = 0
+    n_shards: int | None = None
+    quantize: bool = False
+    session_length: int | None = None
+    extra_lag: int = 60
+    coalesce_updates: bool = True
+    defer_updates: bool | None = None
+    history_window: int = 28 * 86400
+    store_name: str = "engine"
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKEND_KINDS:
+            raise ValueError(f"unknown backend kind {self.backend!r}; expected one of {BACKEND_KINDS}")
+        if self.max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        if self.coalescing_window < 0:
+            raise ValueError("coalescing_window must be non-negative")
+        if self.n_shards is not None and self.n_shards <= 0:
+            raise ValueError("n_shards must be positive (or None for an unsharded store)")
+        if self.session_length is not None and self.session_length <= 0:
+            raise ValueError("session_length must be positive")
+        if self.extra_lag < 0:
+            raise ValueError("extra_lag must be non-negative")
+        if self.history_window <= 0:
+            raise ValueError("history_window must be positive")
+        if self.backend == "hidden_state":
+            if self.session_length is None:
+                raise ValueError("the hidden_state backend needs a session_length")
+            if self.defer_updates is False:
+                raise ValueError("hidden_state updates are always stream-deferred (the paper's dataflow)")
+        else:
+            if self.quantize:
+                raise ValueError("quantization applies to hidden states, not aggregation history")
+            if self.defer_updates and self.session_length is None:
+                raise ValueError("deferred aggregation updates need a session_length")
+            if not self.defer_updates and self.coalescing_window > 0:
+                raise ValueError(
+                    "coalescing_window only applies to stream-delivered updates; "
+                    "set defer_updates=True on the aggregation backend"
+                )
+
+    @property
+    def deferred_updates(self) -> bool:
+        """Whether session-end updates travel through the stream."""
+        if self.backend == "hidden_state":
+            return True
+        return bool(self.defer_updates)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, values: dict[str, Any]) -> "EngineConfig":
+        unknown = set(values) - {spec.name for spec in fields(cls)}
+        if unknown:
+            raise ValueError(f"unknown EngineConfig fields: {sorted(unknown)}")
+        return cls(**values)
+
+
+class ServingEngine:
+    """One serving pipeline behind one lifecycle.
+
+    Construct with :meth:`build` (declarative) or directly from prebuilt
+    parts; drive it with the queue's batched cursor surface (``submit`` /
+    ``advance_to`` / ``flush`` / ``drain_completed`` — the exactly-once
+    delivery contract is preserved verbatim) or replay a whole session
+    stream with :meth:`replay`; retire it with :meth:`close`.
+
+    ``close()`` only releases resources (the queue's stream barrier); it
+    does not score pending requests — ``flush``/``drain_completed`` first.
+    After ``close()`` every traffic method raises; ``drain_completed`` keeps
+    working so results completed before closing are never stranded.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        *,
+        backend: Backend,
+        queue: MicroBatchQueue,
+        store,
+        stream: StreamProcessor | None,
+    ) -> None:
+        self.config = config
+        self.backend = backend
+        self.queue = queue
+        self.store = store
+        self.stream = stream
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        config: EngineConfig,
+        *,
+        network=None,
+        builder=None,
+        featurizer=None,
+        estimator=None,
+        schema=None,
+        store=None,
+        stream: StreamProcessor | None = None,
+    ) -> "ServingEngine":
+        """Assemble store → stream → backend → queue from the config.
+
+        Model parts are backend-specific: the hidden path needs ``network``
+        and ``builder``, the aggregation path ``featurizer``, ``estimator``
+        and ``schema``.  ``store`` and ``stream`` are built from the config
+        (``n_shards``/``store_name``, ``coalescing_window``) unless the
+        caller passes existing ones — e.g. to share a long-lived stream
+        across engine generations or to compare stores across replays.
+        """
+        if store is None:
+            if config.n_shards is not None:
+                store = ShardedKeyValueStore(config.n_shards, name=config.store_name)
+            else:
+                store = KeyValueStore(config.store_name)
+        elif store_topology(store) != (config.n_shards, config.store_name):
+            # Same principle as the stream check below: a manifest rebuilt
+            # from engine.config.to_dict() must reconstruct this pipeline,
+            # including shard topology and ring seeding.
+            raise ValueError(
+                f"store topology {store_topology(store)} contradicts EngineConfig "
+                f"(n_shards={config.n_shards}, store_name={config.store_name!r})"
+            )
+        if config.deferred_updates:
+            if stream is None:
+                stream = StreamProcessor(coalescing_window=config.coalescing_window)
+            elif stream.coalescing_window != config.coalescing_window:
+                # The config is the declarative source of truth (manifests
+                # rebuild pipelines from engine.config.to_dict()); a stream
+                # with a different window would silently falsify it.
+                raise ValueError(
+                    f"stream coalescing_window {stream.coalescing_window} contradicts "
+                    f"EngineConfig.coalescing_window {config.coalescing_window}"
+                )
+        if config.backend == "hidden_state":
+            if network is None or builder is None:
+                raise ValueError("the hidden_state backend needs network= and builder=")
+            backend = BatchedHiddenStateBackend(
+                network,
+                builder,
+                store,
+                stream,
+                config.session_length,
+                quantize=config.quantize,
+                extra_lag=config.extra_lag,
+                coalesce_updates=config.coalesce_updates,
+            )
+        else:
+            if featurizer is None or estimator is None or schema is None:
+                raise ValueError("the aggregation backend needs featurizer=, estimator= and schema=")
+            if not config.deferred_updates and stream is not None:
+                raise ValueError(
+                    "an aggregation engine with immediate updates takes no stream; "
+                    "set defer_updates=True to route session ends through one"
+                )
+            backend = BatchedAggregationBackend(
+                featurizer,
+                estimator,
+                schema,
+                store,
+                history_window=config.history_window,
+                stream=stream,
+                session_length=config.session_length,
+                extra_lag=config.extra_lag,
+                coalesce_updates=config.coalesce_updates,
+            )
+        queue = MicroBatchQueue(backend, max_batch_size=config.max_batch_size, stream=stream)
+        return cls(config, backend=backend, queue=queue, store=store, stream=stream)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_open(self, operation: str) -> None:
+        if self._closed:
+            raise RuntimeError(f"{operation} on a closed ServingEngine")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Deregister the queue's stream barrier and refuse further traffic.
+
+        Idempotent.  Pending (unscored) requests stay unscored — flush
+        before closing; results already completed remain collectable via
+        :meth:`drain_completed`.
+        """
+        if self._closed:
+            return
+        self.queue.detach()
+        self._closed = True
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def submit(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> list[ServingPrediction]:
+        """Queue one request; see :meth:`MicroBatchQueue.submit`."""
+        self._ensure_open("submit")
+        return self.queue.submit(user_id, context, timestamp)
+
+    def predict(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> ServingPrediction:
+        """Single-request convenience: queue, flush, return this result."""
+        self._ensure_open("predict")
+        return self.queue.predict(user_id, context, timestamp)
+
+    def observe_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
+        """Record a finished session through the configured update path.
+
+        Immediate-mode aggregation writes barrier this user's queued
+        prediction first (it must score against pre-session state); deferred
+        updates rely on the stream barrier the queue registers instead.
+        """
+        self._ensure_open("observe_session")
+        if not self.config.deferred_updates:
+            self.queue.barrier_for_user(user_id, deliver=False)
+        self.backend.observe_session(user_id, context, timestamp, accessed)
+
+    def advance_to(self, timestamp: int) -> list[ServingPrediction]:
+        """Advance the stream clock, flushing queued requests before due timers."""
+        self._ensure_open("advance_to")
+        return self.queue.advance_to(timestamp)
+
+    def flush(self) -> list[ServingPrediction]:
+        """Score the pending batch and deliver every undelivered result."""
+        self._ensure_open("flush")
+        return self.queue.flush()
+
+    def drain_completed(self) -> list[ServingPrediction]:
+        """Deliver what no caller collected yet (allowed even after close)."""
+        return self.queue.drain_completed()
+
+    def replay(self, events) -> list[ServingPrediction]:
+        """Replay ``(timestamp, user_id, context, accessed)`` tuples end to end.
+
+        Delegates to the shared replay idiom
+        (:func:`~repro.serving.online.replay_sessions_through_service`):
+        global time order, every delivery collected exactly once, remaining
+        session-end timers fired through the stream at the end.
+        """
+        self._ensure_open("replay")
+        return replay_sessions_through_service(self, events)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def predictions_served(self) -> int:
+        return self.backend.predictions_served
+
+    @property
+    def updates_applied(self) -> int:
+        return self.backend.updates_applied
+
+    @property
+    def update_delay_seconds(self) -> int:
+        """Simulated seconds session-end updates waited for their wave to close."""
+        return self.backend.update_delay_seconds
+
+    @property
+    def storage_bytes(self) -> int:
+        return self.backend.storage_bytes
+
+    @property
+    def pending(self) -> int:
+        return self.queue.pending
+
+    @property
+    def undelivered(self) -> int:
+        return self.queue.undelivered
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.queue.mean_batch_size

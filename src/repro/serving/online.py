@@ -16,10 +16,13 @@ session of the live population is scored in time order (each prediction can
 only see that user's earlier history, so early days genuinely are cold).
 
 :func:`replay_sessions_through_service` is the shared live-replay loop for
-the *serving* stack: it drives a session stream through a service's batched
-cursor surface (submit / advance / flush / drain) in global time order, so
+the *serving* stack: it drives a session stream through the batched cursor
+surface (submit / advance / flush / drain) in global time order, so
 examples, experiments and tests all exercise the same wave-coalesced
-dataflow instead of each hand-rolling the idiom.
+dataflow instead of each hand-rolling the idiom.  It accepts anything with
+that surface — a facade-built :class:`~repro.serving.engine.ServingEngine`
+(whose :meth:`~repro.serving.engine.ServingEngine.replay` delegates here)
+or one of the deprecated service shims.
 """
 
 from __future__ import annotations
@@ -44,7 +47,8 @@ __all__ = [
 
 
 def replay_sessions_through_service(service, events):
-    """Replay ``(timestamp, user_id, context, accessed)`` tuples through a service.
+    """Replay ``(timestamp, user_id, context, accessed)`` tuples through an
+    engine or service.
 
     Drives the batched cursor surface in global time order: advance the
     clock to each session start, submit the prediction, observe the session,
@@ -54,8 +58,9 @@ def replay_sessions_through_service(service, events):
     trailing length check turns any lost or duplicated delivery into a hard
     error rather than a silently wrong replay.
 
-    Works for both service flavours: ``advance_to``/``stream`` are used only
-    when the service has them (the aggregation path has no stream clock).
+    Works for both backend kinds: ``advance_to``/``stream`` are used only
+    when the pipeline has them (an immediate-write aggregation engine has
+    no stream clock).
     Returns the list of :class:`~repro.serving.batching.ServingPrediction`
     aligned with ``events``.
     """

@@ -1,57 +1,52 @@
-"""Model-serving services: hidden-state serving vs aggregation-feature serving.
+"""Deprecated hand-wired service constructors (thin shims over ServingEngine).
 
-Section 9 describes two very different serving dataflows:
+Section 9 describes two serving dataflows — the RNN hidden-state path and
+the traditional aggregation-feature path.  Since the :class:`ServingEngine`
+facade landed, both are built declaratively::
 
-* **RNN path** (:class:`HiddenStateService`) — each prediction makes a single
-  key-value lookup to fetch the user's most recent hidden state (a
-  ``hidden_size``-float vector plus its timestamp), runs the MLP head, and
-  optionally triggers the precompute.  When the session window closes, a
-  stream-processing timer joins the session context with the observed access
-  flag and runs the GRU update, writing the new hidden state back — one read
-  and one write per session.
+    from repro.serving import EngineConfig, ServingEngine
 
-* **Traditional path** (:class:`AggregationFeatureService`) — each prediction
-  must fetch every aggregation group the feature pipeline defines (the paper
-  reports ≈20 lookups per prediction for MobileTab, with thousands of unique
-  keys per user once context-matched variants are included), reassemble the
-  feature vector, and run the GBDT.  Session-end events update the stored
-  aggregation state.
+    engine = ServingEngine.build(
+        EngineConfig(backend="hidden_state", max_batch_size=32, session_length=1800),
+        network=model.network, builder=model.builder,
+    )
 
-Both services are thin single-request wrappers (a
-:class:`~repro.serving.batching.MicroBatchQueue` with ``max_batch_size=1``
-by default) around the batched backends in :mod:`repro.serving.batching`.
-``predict`` always scores immediately; to actually coalesce requests,
-raise ``max_batch_size`` and drive the batched surface — ``submit`` /
-``advance_to`` / ``flush`` / ``drain_completed`` — which preserves results
-and metered KV traffic exactly.  Delivery follows the queue's drained
-cursor: whatever those calls return is delivered exactly once, and
-``drain_completed`` surfaces only what no call returned.  Session-end GRU
-updates ride the stream's wave-coalesced timer scheduler, so under live
-traffic the update path is as batched as the prediction path.  The store
-can be a single :class:`~repro.serving.kvstore.KeyValueStore` or a
-consistent-hash :class:`~repro.serving.router.ShardedKeyValueStore` pool —
-the services only use the common metering interface.
+:class:`HiddenStateService` and :class:`AggregationFeatureService` remain as
+deprecation shims so pre-facade call sites keep working: each constructor
+emits a :class:`DeprecationWarning`, builds the equivalent engine (passing
+the caller's store/stream through, so composition — and therefore every
+observable — is bit-identical to the old hand-wiring), and delegates.  The
+``.engine`` attribute still exposes the underlying
+:class:`~repro.serving.batching.MicroBatchQueue`, as it always did; the
+facade itself is available as ``.serving_engine``.
 """
 
 from __future__ import annotations
+
+import warnings
 
 from ..data.schema import ContextSchema
 from ..features.pipeline import TabularFeaturizer
 from ..features.sequence import SequenceBuilder
 from ..models.rnn import RNNPrecomputeNetwork
-from .batching import (
-    BatchedAggregationBackend,
-    BatchedHiddenStateBackend,
-    MicroBatchQueue,
-    ServingPrediction,
-)
+from .batching import MicroBatchQueue, ServingPrediction
+from .engine import EngineConfig, ServingEngine, store_topology
 from .stream import StreamProcessor
 
 __all__ = ["ServingPrediction", "HiddenStateService", "AggregationFeatureService"]
 
 
+def _deprecated(name: str) -> None:
+    warnings.warn(
+        f"{name} is deprecated; build a ServingEngine from an EngineConfig instead "
+        "(see repro.serving.engine)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
 class HiddenStateService:
-    """Serves RNN predictions from a single per-user hidden-state record."""
+    """Deprecated: a ``backend="hidden_state"`` :class:`ServingEngine`."""
 
     def __init__(
         self,
@@ -66,51 +61,69 @@ class HiddenStateService:
         max_batch_size: int = 1,
         coalesce_updates: bool = True,
     ) -> None:
-        self.backend = BatchedHiddenStateBackend(
-            network,
-            builder,
-            store,
-            stream,
-            session_length,
-            quantize=quantize,
-            extra_lag=extra_lag,
-            coalesce_updates=coalesce_updates,
+        _deprecated("HiddenStateService")
+        # Adopt the caller's store/stream configuration: the config must
+        # describe the pipeline actually built.
+        n_shards, store_name = store_topology(store)
+        self.serving_engine = ServingEngine.build(
+            EngineConfig(
+                backend="hidden_state",
+                max_batch_size=max_batch_size,
+                coalescing_window=stream.coalescing_window,
+                n_shards=n_shards,
+                quantize=quantize,
+                session_length=session_length,
+                extra_lag=extra_lag,
+                coalesce_updates=coalesce_updates,
+                store_name=store_name,
+            ),
+            network=network,
+            builder=builder,
+            store=store,
+            stream=stream,
         )
-        self.engine = MicroBatchQueue(self.backend, max_batch_size=max_batch_size, stream=stream)
 
     # ------------------------------------------------------------------
     def predict(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> ServingPrediction:
         """Serve one access probability (session start)."""
-        return self.engine.predict(user_id, context, timestamp)
+        return self.serving_engine.predict(user_id, context, timestamp)
 
     def observe_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
         """Publish the session to the stream; the hidden update fires after the window closes."""
-        self.backend.observe_session(user_id, context, timestamp, accessed)
+        self.serving_engine.observe_session(user_id, context, timestamp, accessed)
 
     # ------------------------------------------------------------------
     # Batched surface (meaningful when max_batch_size > 1).
     # ------------------------------------------------------------------
     def submit(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> list[ServingPrediction]:
         """Queue a request for micro-batching; see ``MicroBatchQueue.submit``."""
-        return self.engine.submit(user_id, context, timestamp)
+        return self.serving_engine.submit(user_id, context, timestamp)
 
     def advance_to(self, timestamp: int) -> list[ServingPrediction]:
         """Advance the stream clock, flushing queued requests before due timers."""
-        return self.engine.advance_to(timestamp)
+        return self.serving_engine.advance_to(timestamp)
 
     def flush(self) -> list[ServingPrediction]:
-        return self.engine.flush()
+        return self.serving_engine.flush()
 
     def drain_completed(self) -> list[ServingPrediction]:
-        return self.engine.drain_completed()
+        return self.serving_engine.drain_completed()
 
     def detach(self) -> None:
         """Deregister the engine's stream barrier (retire this service)."""
         self.engine.detach()
 
     # ------------------------------------------------------------------
-    # Pass-throughs kept for the seed's single-request API surface.
+    # Pass-throughs kept for the pre-facade API surface.
     # ------------------------------------------------------------------
+    @property
+    def engine(self) -> MicroBatchQueue:
+        return self.serving_engine.queue
+
+    @property
+    def backend(self):
+        return self.serving_engine.backend
+
     @property
     def network(self) -> RNNPrecomputeNetwork:
         return self.backend.network
@@ -121,11 +134,11 @@ class HiddenStateService:
 
     @property
     def store(self):
-        return self.backend.store
+        return self.serving_engine.store
 
     @property
     def stream(self) -> StreamProcessor:
-        return self.backend.stream
+        return self.serving_engine.stream
 
     @property
     def session_length(self) -> int:
@@ -141,25 +154,23 @@ class HiddenStateService:
 
     @property
     def predictions_served(self) -> int:
-        return self.backend.predictions_served
+        return self.serving_engine.predictions_served
 
     @property
     def updates_applied(self) -> int:
-        return self.backend.updates_applied
+        return self.serving_engine.updates_applied
 
     @property
     def storage_bytes(self) -> int:
-        return self.backend.storage_bytes
+        return self.serving_engine.storage_bytes
 
 
 class AggregationFeatureService:
-    """Serves traditional-model predictions from per-user aggregation state.
+    """Deprecated: a ``backend="aggregation"`` :class:`ServingEngine`.
 
-    The stored state is the user's rolling 28-day access log; the *cost*
-    charged per prediction is one lookup per aggregation group (window ×
-    context subset), which is how the production system of Section 9 pays for
-    these features.  The estimator is any object with ``predict_proba``
-    (the GBDT or logistic regression from :mod:`repro.ml`).
+    Keeps the seed semantics the shim always had: session-end history writes
+    apply immediately (``defer_updates`` stays off), with the facade
+    barriering any queued prediction for that user first.
     """
 
     def __init__(
@@ -172,38 +183,51 @@ class AggregationFeatureService:
         history_window: int = 28 * 86400,
         max_batch_size: int = 1,
     ) -> None:
-        self.backend = BatchedAggregationBackend(
-            featurizer, estimator, schema, store, history_window=history_window
+        _deprecated("AggregationFeatureService")
+        n_shards, store_name = store_topology(store)
+        self.serving_engine = ServingEngine.build(
+            EngineConfig(
+                backend="aggregation",
+                max_batch_size=max_batch_size,
+                n_shards=n_shards,
+                history_window=history_window,
+                store_name=store_name,
+            ),
+            featurizer=featurizer,
+            estimator=estimator,
+            schema=schema,
+            store=store,
         )
-        self.engine = MicroBatchQueue(self.backend, max_batch_size=max_batch_size)
 
     # ------------------------------------------------------------------
     def predict(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> ServingPrediction:
-        return self.engine.predict(user_id, context, timestamp)
+        return self.serving_engine.predict(user_id, context, timestamp)
 
     def observe_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
-        # The history write applies immediately (no stream delay), so any
-        # queued prediction for this user must be scored against the
-        # pre-session state first.  ``deliver=False``: this method has no
-        # return channel, so the flushed results stay on the cursor for
-        # ``drain_completed`` rather than being delivered (and lost) here.
-        self.engine.barrier_for_user(user_id, deliver=False)
-        self.backend.observe_session(user_id, context, timestamp, accessed)
+        self.serving_engine.observe_session(user_id, context, timestamp, accessed)
 
     # ------------------------------------------------------------------
     # Batched surface (meaningful when max_batch_size > 1).
     # ------------------------------------------------------------------
     def submit(self, user_id: int, context: dict[str, float] | None, timestamp: int) -> list[ServingPrediction]:
         """Queue a request for micro-batching; see ``MicroBatchQueue.submit``."""
-        return self.engine.submit(user_id, context, timestamp)
+        return self.serving_engine.submit(user_id, context, timestamp)
 
     def flush(self) -> list[ServingPrediction]:
-        return self.engine.flush()
+        return self.serving_engine.flush()
 
     def drain_completed(self) -> list[ServingPrediction]:
-        return self.engine.drain_completed()
+        return self.serving_engine.drain_completed()
 
     # ------------------------------------------------------------------
+    @property
+    def engine(self) -> MicroBatchQueue:
+        return self.serving_engine.queue
+
+    @property
+    def backend(self):
+        return self.serving_engine.backend
+
     @property
     def featurizer(self) -> TabularFeaturizer:
         return self.backend.featurizer
@@ -218,7 +242,7 @@ class AggregationFeatureService:
 
     @property
     def store(self):
-        return self.backend.store
+        return self.serving_engine.store
 
     @property
     def history_window(self) -> int:
@@ -226,12 +250,12 @@ class AggregationFeatureService:
 
     @property
     def predictions_served(self) -> int:
-        return self.backend.predictions_served
+        return self.serving_engine.predictions_served
 
     @property
     def updates_applied(self) -> int:
-        return self.backend.updates_applied
+        return self.serving_engine.updates_applied
 
     @property
     def storage_bytes(self) -> int:
-        return self.backend.storage_bytes
+        return self.serving_engine.storage_bytes

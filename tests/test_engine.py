@@ -1,0 +1,554 @@
+"""ServingEngine facade: config round-trips, lifecycle, and the bit-identity pin.
+
+The facade is only admissible if it is *pure assembly*: a pipeline built
+from an :class:`~repro.serving.EngineConfig` must be bit-identical to the
+hand-wired PR-2 composition (same probabilities, precompute decisions, KV
+traffic and stored state) at every batch size, and the new wave-delivered
+aggregation updates must be bit-identical to the per-timer path.  The
+hand-wired references below construct queue + backend + store + stream
+directly, so facade drift cannot hide behind shared construction code.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import FixedThresholdPolicy
+from repro.data import ContextField, ContextSchema, make_dataset, sessions_in_time_order, user_split
+from repro.models import GBDTModel, RNNModel, RNNModelConfig, TaskSpec
+from repro.serving import (
+    Backend,
+    BatchedAggregationBackend,
+    BatchedHiddenStateBackend,
+    EngineConfig,
+    KeyValueStore,
+    MicroBatchQueue,
+    ServingEngine,
+    SessionStreamMixin,
+    SessionUpdate,
+    ShardedKeyValueStore,
+    StreamProcessor,
+)
+
+BATCH_SIZES = (1, 7, 64)
+
+
+@pytest.fixture(scope="module")
+def trained():
+    dataset = make_dataset("mobiletab", seed=29, n_users=28, n_days=10)
+    split = user_split(dataset, test_fraction=0.3, seed=0)
+    task = TaskSpec(kind="session", rnn_loss_days=6)
+    rnn = RNNModel(
+        RNNModelConfig(hidden_size=12, mlp_hidden=12, epochs=1, early_stopping_patience=None, seed=0)
+    ).fit(split.train, task)
+    gbdt = GBDTModel(depths=(2,)).fit(split.train, task)
+    events = [
+        (int(timestamp), user.user_id, user.context_row(index), bool(user.accesses[index]))
+        for timestamp, user, index in sessions_in_time_order(split.test.users)
+    ]
+    return dataset, rnn, gbdt, events
+
+
+class TestEngineConfig:
+    def test_round_trips_through_dict_and_json(self):
+        config = EngineConfig(
+            backend="hidden_state",
+            max_batch_size=16,
+            coalescing_window=30,
+            n_shards=5,
+            quantize=True,
+            session_length=1200,
+            extra_lag=90,
+            store_name="pinned",
+        )
+        assert EngineConfig.from_dict(config.to_dict()) == config
+        # Declarative means serializable: the dict must survive JSON.
+        assert EngineConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
+        aggregation = EngineConfig(backend="aggregation", defer_updates=True, session_length=600)
+        assert EngineConfig.from_dict(aggregation.to_dict()) == aggregation
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown EngineConfig fields"):
+            EngineConfig.from_dict({"backend": "aggregation", "batch": 4})
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"backend": "gbdt"},
+            {"backend": "aggregation", "max_batch_size": 0},
+            {"backend": "aggregation", "coalescing_window": -1},
+            {"backend": "aggregation", "n_shards": 0},
+            {"backend": "aggregation", "history_window": 0},
+            {"backend": "aggregation", "session_length": -5},
+            {"backend": "hidden_state"},  # no session_length
+            {"backend": "hidden_state", "session_length": 600, "defer_updates": False},
+            {"backend": "hidden_state", "session_length": 600, "extra_lag": -1},
+            {"backend": "aggregation", "quantize": True},
+            {"backend": "aggregation", "defer_updates": True},  # no session_length
+            # A window on immediate writes would be silently inert.
+            {"backend": "aggregation", "coalescing_window": 30},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EngineConfig(**kwargs)
+
+    def test_update_delivery_defaults(self):
+        assert EngineConfig(backend="hidden_state", session_length=600).deferred_updates
+        assert not EngineConfig(backend="aggregation").deferred_updates
+        assert EngineConfig(backend="aggregation", defer_updates=True, session_length=600).deferred_updates
+
+
+class TestBackendProtocol:
+    def test_both_backends_satisfy_the_protocol(self, trained):
+        dataset, rnn, gbdt, _ = trained
+        hidden = BatchedHiddenStateBackend(
+            rnn.network, rnn.builder, KeyValueStore(), StreamProcessor(), dataset.session_length
+        )
+        aggregation = BatchedAggregationBackend(
+            gbdt.featurizer, gbdt.estimator, dataset.schema, KeyValueStore()
+        )
+        assert isinstance(hidden, Backend)
+        assert isinstance(aggregation, Backend)
+
+    def test_non_backends_do_not(self):
+        class NotABackend:
+            def predict_batch(self, requests):
+                return []
+
+        assert not isinstance(NotABackend(), Backend)
+
+
+class TestEngineLifecycle:
+    def _hidden_engine(self, trained, **overrides):
+        dataset, rnn, _, _ = trained
+        kwargs = dict(backend="hidden_state", max_batch_size=8, session_length=dataset.session_length)
+        kwargs.update(overrides)
+        return ServingEngine.build(EngineConfig(**kwargs), network=rnn.network, builder=rnn.builder)
+
+    def test_build_requires_the_backend_model_parts(self, trained):
+        dataset, rnn, gbdt, _ = trained
+        with pytest.raises(ValueError, match="network= and builder="):
+            ServingEngine.build(EngineConfig(backend="hidden_state", session_length=600))
+        with pytest.raises(ValueError, match="featurizer=, estimator= and schema="):
+            ServingEngine.build(EngineConfig(backend="aggregation"), featurizer=gbdt.featurizer)
+        with pytest.raises(ValueError, match="takes no stream"):
+            ServingEngine.build(
+                EngineConfig(backend="aggregation"),
+                featurizer=gbdt.featurizer,
+                estimator=gbdt.estimator,
+                schema=dataset.schema,
+                stream=StreamProcessor(),
+            )
+
+    def test_build_rejects_a_stream_contradicting_the_config(self, trained):
+        dataset, rnn, _, _ = trained
+        with pytest.raises(ValueError, match="contradicts"):
+            ServingEngine.build(
+                EngineConfig(backend="hidden_state", coalescing_window=30, session_length=dataset.session_length),
+                network=rnn.network,
+                builder=rnn.builder,
+                stream=StreamProcessor(coalescing_window=0),
+            )
+
+    def test_build_rejects_a_store_contradicting_the_config(self, trained):
+        dataset, rnn, _, _ = trained
+        with pytest.raises(ValueError, match="store topology"):
+            ServingEngine.build(
+                EngineConfig(backend="hidden_state", n_shards=4, session_length=dataset.session_length),
+                network=rnn.network,
+                builder=rnn.builder,
+                store=KeyValueStore(),
+            )
+        with pytest.raises(ValueError, match="store topology"):
+            ServingEngine.build(
+                EngineConfig(backend="hidden_state", session_length=dataset.session_length, store_name="rnn"),
+                network=rnn.network,
+                builder=rnn.builder,
+                store=KeyValueStore("other"),
+            )
+
+    def test_service_shim_adopts_the_callers_store_and_stream(self, trained):
+        from repro.serving import HiddenStateService
+
+        dataset, rnn, _, _ = trained
+        with pytest.warns(DeprecationWarning):
+            service = HiddenStateService(
+                rnn.network,
+                rnn.builder,
+                ShardedKeyValueStore(3, name="rnn"),
+                StreamProcessor(coalescing_window=7),
+                dataset.session_length,
+            )
+        config = service.serving_engine.config
+        assert config.coalescing_window == 7
+        assert config.n_shards == 3 and config.store_name == "rnn"
+
+    def test_double_close_is_idempotent_and_submit_after_close_raises(self, trained):
+        _, _, _, events = trained
+        engine = self._hidden_engine(trained)
+        timestamp, user_id, context, accessed = events[0]
+        engine.submit(user_id, context, timestamp)
+        flushed = engine.flush()
+        assert len(flushed) == 1
+        engine.close()
+        engine.close()  # idempotent
+        assert engine.closed
+        for call in (
+            lambda: engine.submit(user_id, context, timestamp + 1),
+            lambda: engine.predict(user_id, context, timestamp + 1),
+            lambda: engine.observe_session(user_id, context, timestamp + 1, accessed),
+            lambda: engine.advance_to(timestamp + 1),
+            lambda: engine.flush(),
+            lambda: engine.replay(events[:1]),
+        ):
+            with pytest.raises(RuntimeError, match="closed ServingEngine"):
+                call()
+
+    def test_results_completed_before_close_still_drain(self, trained):
+        _, _, _, events = trained
+        engine = self._hidden_engine(trained)
+        timestamp, user_id, context, accessed = events[0]
+        engine.advance_to(timestamp)
+        engine.submit(user_id, context, timestamp)
+        engine.observe_session(user_id, context, timestamp, accessed)
+        # A direct stream flush completes the request via the barrier (no
+        # caller): the result sits on the drained cursor through close().
+        engine.stream.flush()
+        engine.close()
+        drained = engine.drain_completed()
+        assert [(p.user_id, p.timestamp) for p in drained] == [(user_id, timestamp)]
+        assert engine.drain_completed() == []
+
+    def test_close_detaches_the_stream_barrier(self, trained):
+        _, _, _, events = trained
+        engine = self._hidden_engine(trained)
+        timestamp, user_id, context, _ = events[0]
+        engine.submit(user_id, context, timestamp)
+        engine.close()
+        # A retired engine's barrier must not score its pending request
+        # behind the caller's back when the shared stream lives on.
+        engine.stream.set_timer(timestamp + 10, "t", lambda key, buffered: None)
+        engine.stream.advance_to(timestamp + 10)
+        assert engine.pending == 1
+
+    def test_context_manager_closes(self, trained):
+        with self._hidden_engine(trained) as engine:
+            assert not engine.closed
+        assert engine.closed
+
+    def test_engine_replay_matches_the_shared_idiom(self, trained):
+        dataset, rnn, _, events = trained
+        engine = self._hidden_engine(trained, max_batch_size=16)
+        predictions = engine.replay(events)
+        assert [p.timestamp for p in predictions] == [event[0] for event in events]
+        assert engine.updates_applied == len(events)
+        assert engine.predictions_served == len(events)
+
+
+# ----------------------------------------------------------------------
+# The tentpole pin: facade-built == hand-wired, bit for bit.
+# ----------------------------------------------------------------------
+def replay_through(engine_like, events):
+    """Drive the batched cursor surface exactly like the shared replay idiom."""
+    delivered = []
+    for timestamp, user_id, context, accessed in events:
+        delivered += engine_like.advance_to(timestamp)
+        delivered += engine_like.submit(user_id, context, timestamp)
+        engine_like.observe_session(user_id, context, timestamp, accessed)
+    delivered += engine_like.flush()
+    if getattr(engine_like, "stream", None) is not None:
+        engine_like.stream.flush()
+    delivered += engine_like.drain_completed()
+    assert len(delivered) == len(events)
+    return delivered
+
+
+class HandWiredHidden:
+    """The PR-2 composition, assembled by hand (no facade code involved)."""
+
+    def __init__(self, rnn, session_length, store, *, batch_size, quantize=False):
+        self.stream = StreamProcessor()
+        self.backend = BatchedHiddenStateBackend(
+            rnn.network, rnn.builder, store, self.stream, session_length, quantize=quantize
+        )
+        self.queue = MicroBatchQueue(self.backend, max_batch_size=batch_size, stream=self.stream)
+        self.submit = self.queue.submit
+        self.advance_to = self.queue.advance_to
+        self.flush = self.queue.flush
+        self.drain_completed = self.queue.drain_completed
+        self.observe_session = self.backend.observe_session
+
+
+class HandWiredAggregation:
+    """Hand-wired immediate-write aggregation path (the seed semantics)."""
+
+    def __init__(self, gbdt, schema, store, *, batch_size):
+        self.stream = None
+        self.backend = BatchedAggregationBackend(gbdt.featurizer, gbdt.estimator, schema, store)
+        self.queue = MicroBatchQueue(self.backend, max_batch_size=batch_size)
+        self.submit = self.queue.submit
+        self.advance_to = lambda timestamp: []
+        self.flush = self.queue.flush
+        self.drain_completed = self.queue.drain_completed
+
+    def observe_session(self, user_id, context, timestamp, accessed):
+        self.queue.barrier_for_user(user_id, deliver=False)
+        self.backend.observe_session(user_id, context, timestamp, accessed)
+
+
+class TestFacadeEquivalence:
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_hidden_state_facade_matches_hand_wiring(self, trained, batch_size):
+        dataset, rnn, _, events = trained
+        reference_store = KeyValueStore()
+        hand_wired = HandWiredHidden(rnn, dataset.session_length, reference_store, batch_size=batch_size)
+        reference = replay_through(hand_wired, events)
+
+        engine = ServingEngine.build(
+            EngineConfig(backend="hidden_state", max_batch_size=batch_size, session_length=dataset.session_length),
+            network=rnn.network,
+            builder=rnn.builder,
+        )
+        predictions = engine.replay(events)
+
+        np.testing.assert_array_equal(
+            np.asarray([p.probability for p in predictions]),
+            np.asarray([p.probability for p in reference]),
+        )
+        assert [(p.user_id, p.timestamp, p.kv_lookups, p.bytes_fetched) for p in predictions] == [
+            (p.user_id, p.timestamp, p.kv_lookups, p.bytes_fetched) for p in reference
+        ]
+        assert engine.store.stats.snapshot() == reference_store.stats.snapshot()
+        assert engine.store.total_bytes == reference_store.total_bytes
+        for key in reference_store.keys():
+            np.testing.assert_array_equal(engine.store.get(key)["state"], reference_store.get(key)["state"])
+
+    def test_hidden_state_decisions_match_hand_wiring(self, trained):
+        dataset, rnn, _, events = trained
+        hand_wired = HandWiredHidden(rnn, dataset.session_length, KeyValueStore(), batch_size=7)
+        reference = np.asarray([p.probability for p in replay_through(hand_wired, events)])
+        uniques = np.unique(reference)
+        middle = len(uniques) // 2
+        policy = FixedThresholdPolicy(float((uniques[middle - 1] + uniques[middle]) / 2))
+        expected = policy.decide(reference)
+        assert expected.any() and not expected.all()
+        engine = ServingEngine.build(
+            EngineConfig(backend="hidden_state", max_batch_size=7, session_length=dataset.session_length),
+            network=rnn.network,
+            builder=rnn.builder,
+        )
+        probabilities = np.asarray([p.probability for p in engine.replay(events)])
+        assert policy.decide(probabilities).tolist() == expected.tolist()
+
+    def test_quantized_facade_matches_hand_wiring(self, trained):
+        dataset, rnn, _, events = trained
+        reference_store = KeyValueStore()
+        hand_wired = HandWiredHidden(
+            rnn, dataset.session_length, reference_store, batch_size=7, quantize=True
+        )
+        reference = replay_through(hand_wired, events)
+        engine = ServingEngine.build(
+            EngineConfig(
+                backend="hidden_state", max_batch_size=7, quantize=True, session_length=dataset.session_length
+            ),
+            network=rnn.network,
+            builder=rnn.builder,
+        )
+        predictions = engine.replay(events)
+        np.testing.assert_array_equal(
+            np.asarray([p.probability for p in predictions]),
+            np.asarray([p.probability for p in reference]),
+        )
+        assert engine.store.stats.snapshot() == reference_store.stats.snapshot()
+
+    def test_sharded_facade_matches_hand_wired_pool(self, trained):
+        dataset, rnn, _, events = trained
+        # Same pool name: the consistent-hash ring seeds on it, so per-shard
+        # placement (and therefore per-shard meters) must line up exactly.
+        reference_store = ShardedKeyValueStore(5, name="pinned")
+        hand_wired = HandWiredHidden(rnn, dataset.session_length, reference_store, batch_size=64)
+        reference = replay_through(hand_wired, events)
+        engine = ServingEngine.build(
+            EngineConfig(
+                backend="hidden_state",
+                max_batch_size=64,
+                n_shards=5,
+                store_name="pinned",
+                session_length=dataset.session_length,
+            ),
+            network=rnn.network,
+            builder=rnn.builder,
+        )
+        predictions = engine.replay(events)
+        np.testing.assert_array_equal(
+            np.asarray([p.probability for p in predictions]),
+            np.asarray([p.probability for p in reference]),
+        )
+        assert engine.store.stats.snapshot() == reference_store.stats.snapshot()
+        assert engine.store.shard_snapshots() == reference_store.shard_snapshots()
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_aggregation_facade_matches_hand_wiring(self, trained, batch_size):
+        dataset, _, gbdt, events = trained
+        reference_store = KeyValueStore()
+        hand_wired = HandWiredAggregation(gbdt, dataset.schema, reference_store, batch_size=batch_size)
+        reference = replay_through(hand_wired, events)
+
+        engine = ServingEngine.build(
+            EngineConfig(backend="aggregation", max_batch_size=batch_size),
+            featurizer=gbdt.featurizer,
+            estimator=gbdt.estimator,
+            schema=dataset.schema,
+        )
+        predictions = engine.replay(events)
+
+        np.testing.assert_array_equal(
+            np.asarray([p.probability for p in predictions]),
+            np.asarray([p.probability for p in reference]),
+        )
+        assert [p.kv_lookups for p in predictions] == [p.kv_lookups for p in reference]
+        assert [p.bytes_fetched for p in predictions] == [p.bytes_fetched for p in reference]
+        assert engine.store.stats.snapshot() == reference_store.stats.snapshot()
+        for key in reference_store.keys():
+            assert engine.store.get(key) == reference_store.get(key)
+
+
+# ----------------------------------------------------------------------
+# Symmetric wave delivery on the aggregation path.
+# ----------------------------------------------------------------------
+def bursty_events(rng, n_events=80, n_users=9):
+    """Time-ordered sessions whose windows close in shared seconds."""
+    base = 1_600_000_000
+    raw = rng.integers(0, 2_000, size=n_events)
+    clustered = rng.random(n_events) < 0.6
+    raw[clustered] -= raw[clustered] % 120
+    return [
+        (
+            int(timestamp),
+            int(rng.integers(0, n_users)),
+            {"unread_count": float(rng.integers(0, 9)), "active_tab": float(rng.integers(0, 3))},
+            bool(rng.random() < 0.4),
+        )
+        for timestamp in np.sort(base + raw)
+    ]
+
+
+class TestAggregationWaveSymmetry:
+    def _deferred_engine(self, trained, *, coalesce_updates, window=0, batch_size=8):
+        dataset, _, gbdt, _ = trained
+        return ServingEngine.build(
+            EngineConfig(
+                backend="aggregation",
+                max_batch_size=batch_size,
+                defer_updates=True,
+                coalesce_updates=coalesce_updates,
+                coalescing_window=window,
+                session_length=600,
+            ),
+            featurizer=gbdt.featurizer,
+            estimator=gbdt.estimator,
+            schema=dataset.schema,
+        )
+
+    def test_wave_delivered_history_writes_bit_identical_to_per_timer(self, trained):
+        for trial in range(4):
+            rng = np.random.default_rng(7000 + trial)
+            events = bursty_events(rng)
+            single = self._deferred_engine(trained, coalesce_updates=False)
+            waved = self._deferred_engine(trained, coalesce_updates=True)
+            single_predictions = single.replay(events)
+            waved_predictions = waved.replay(events)
+            # Coalescing actually happened…
+            assert waved.stream.waves_fired < waved.stream.timers_fired == len(events)
+            # …and is invisible: probabilities, traffic and stored history.
+            np.testing.assert_array_equal(
+                np.asarray([p.probability for p in waved_predictions]),
+                np.asarray([p.probability for p in single_predictions]),
+            )
+            assert waved.store.stats.snapshot() == single.store.stats.snapshot()
+            assert sorted(waved.store.keys()) == sorted(single.store.keys())
+            for key in single.store.keys():
+                assert waved.store.get(key) == single.store.get(key)
+            assert waved.updates_applied == single.updates_applied == len(events)
+
+    def test_wider_windows_stay_bit_identical_and_meter_their_latency(self, trained):
+        rng = np.random.default_rng(8000)
+        events = bursty_events(rng)
+        reference = self._deferred_engine(trained, coalesce_updates=False)
+        reference_predictions = reference.replay(events)
+        reference_stats = reference.store.stats.snapshot()
+        delays = []
+        for window in (0, 60, 600):
+            engine = self._deferred_engine(trained, coalesce_updates=True, window=window)
+            predictions = engine.replay(events)
+            np.testing.assert_array_equal(
+                np.asarray([p.probability for p in predictions]),
+                np.asarray([p.probability for p in reference_predictions]),
+            )
+            assert engine.store.stats.snapshot() == reference_stats
+            for key in reference.store.keys():
+                assert engine.store.get(key) == reference.store.get(key)
+            delays.append(engine.update_delay_seconds)
+        # The latency meter sees what the window buys: wider waves, later writes.
+        assert delays[0] == 0 and delays == sorted(delays) and delays[-1] > 0
+
+    def test_apply_wave_equals_sequential_immediate_writes(self, trained):
+        dataset, _, gbdt, events = trained
+        updates = [
+            SessionUpdate(user_id=user_id, timestamp=timestamp, context=context, accessed=accessed)
+            for timestamp, user_id, context, accessed in events[:50]
+        ]
+        one_at_a_time = BatchedAggregationBackend(
+            gbdt.featurizer, gbdt.estimator, dataset.schema, KeyValueStore()
+        )
+        for update in updates:
+            one_at_a_time.observe_session(update.user_id, update.context, update.timestamp, update.accessed)
+        waved = BatchedAggregationBackend(
+            gbdt.featurizer, gbdt.estimator, dataset.schema, KeyValueStore()
+        )
+        waved.apply_wave(updates)
+        assert waved.updates_applied == one_at_a_time.updates_applied == len(updates)
+        assert waved.store.stats.snapshot() == one_at_a_time.store.stats.snapshot()
+        for key in one_at_a_time.store.keys():
+            assert waved.store.get(key) == one_at_a_time.store.get(key)
+
+
+class TestSessionStreamMixin:
+    class Recorder(SessionStreamMixin):
+        def __init__(self, stream, *, session_length=100, extra_lag=0, coalesce=True):
+            self.session_length = session_length
+            self.extra_lag = extra_lag
+            self._init_session_delivery(stream, coalesce)
+            self.waves: list[list[SessionUpdate]] = []
+
+        def apply_wave(self, updates):
+            self.waves.append(list(updates))
+
+    def test_wave_join_and_delay_metering(self):
+        stream = StreamProcessor(coalescing_window=10)
+        recorder = self.Recorder(stream)
+        recorder.observe = recorder._publish_session
+        recorder.observe(1, {"badge": 2.0}, 0, True)
+        recorder.observe(2, {"badge": 3.0}, 5, False)
+        stream.flush()
+        # One wave: the 105 timer falls inside the 100+10 window.  The first
+        # update waited 5 simulated seconds past its own fire time.
+        assert [len(wave) for wave in recorder.waves] == [2]
+        first, second = recorder.waves[0]
+        assert first == SessionUpdate(user_id=1, timestamp=0, context={"badge": 2.0}, accessed=True)
+        assert second == SessionUpdate(user_id=2, timestamp=5, context={"badge": 3.0}, accessed=False)
+        assert recorder.update_delay_seconds == 5
+
+    def test_duplicate_user_second_sessions_stay_distinct(self):
+        stream = StreamProcessor()
+        recorder = self.Recorder(stream)
+        recorder._publish_session(4, {"badge": 1.0}, 50, False)
+        recorder._publish_session(4, {"badge": 9.0}, 50, True)
+        stream.flush()
+        assert [len(wave) for wave in recorder.waves] == [2]
+        assert [update.accessed for update in recorder.waves[0]] == [False, True]
+        assert [update.context["badge"] for update in recorder.waves[0]] == [1.0, 9.0]
