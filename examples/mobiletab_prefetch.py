@@ -15,10 +15,10 @@ application start, decide whether to prefetch the tab's content.  The example
 
 from __future__ import annotations
 
+from repro import EngineConfig, ServingEngine  # facade exports live at the top level
 from repro.core import BudgetPolicy
 from repro.data import make_dataset, sessions_in_time_order, user_split
 from repro.models import RNNModel, RNNModelConfig, TaskSpec
-from repro.serving import EngineConfig, ServingEngine
 
 
 def main() -> None:

@@ -18,8 +18,9 @@ The package is organised bottom-up:
   hidden-state vs aggregation-feature backends), cost model, online
   experiment.
 * :mod:`repro.metrics` — PR curves, PR-AUC, recall at precision, log loss.
-* :mod:`repro.experiments` — one registered experiment per table/figure of
-  the paper's evaluation.
+* :mod:`repro.experiments` — a typed experiment registry behind one
+  manifest-driven runner (``python -m repro.experiments``), one registered
+  experiment per table/figure/load test of the paper's evaluation.
 
 Quickstart::
 
@@ -32,8 +33,41 @@ Quickstart::
     model = RNNModel().fit(split.train, TaskSpec(kind="session"))
     result = model.evaluate(split.test, TaskSpec(kind="session"))
     print(pr_auc(result.y_true, result.y_score))
+
+Or run the paper's whole evaluation from a declarative manifest::
+
+    import repro
+
+    runs = repro.run_manifest(repro.load_manifest("manifests/smoke.json"), out_dir="artifacts")
+    print(runs[0].result.format_table())
 """
 
-__version__ = "0.2.0"
+__version__ = "0.3.0"
 
-__all__ = ["__version__"]
+#: Curated top-level surface, imported lazily (PEP 562) so ``import repro``
+#: stays cheap: manifest consumers get the serving facade and the experiment
+#: runner without reaching into submodules.
+_TOP_LEVEL_EXPORTS = {
+    "ServingEngine": "repro.serving",
+    "EngineConfig": "repro.serving",
+    "ExperimentResult": "repro.experiments",
+    "run_experiment": "repro.experiments",
+    "load_manifest": "repro.experiments",
+    "run_manifest": "repro.experiments",
+}
+
+__all__ = ["__version__", *sorted(_TOP_LEVEL_EXPORTS)]
+
+
+def __getattr__(name: str):
+    if name in _TOP_LEVEL_EXPORTS:
+        import importlib
+
+        value = getattr(importlib.import_module(_TOP_LEVEL_EXPORTS[name]), name)
+        globals()[name] = value  # cache: subsequent lookups skip __getattr__
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_TOP_LEVEL_EXPORTS))

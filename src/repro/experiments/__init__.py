@@ -1,16 +1,45 @@
-"""Experiment registry: one entry per table/figure of the paper's evaluation.
+"""Experiments layer: a typed spec registry behind one manifest-driven runner.
 
-Each experiment is a zero-configuration callable returning an
-:class:`~repro.experiments.results.ExperimentResult`; keyword arguments let
-benchmarks and examples scale the workloads up or down.  ``EXPERIMENTS`` maps
-the experiment id (``"table3"``, ``"fig7"``, ...) to its callable, and
-:func:`run_experiment` dispatches by id.
+Every table, figure and load test of the paper's evaluation is registered as
+an :class:`~repro.experiments.spec.ExperimentSpec` (id, callable, typed
+parameter schema, tags) via the ``@register`` decorator at its definition
+site.  The declarative surface is:
+
+* ``python -m repro.experiments list | describe <id> | run <manifest.json>``
+  — the one CLI (``repro/experiments/__main__.py``).
+* :func:`~repro.experiments.runner.load_manifest` /
+  :func:`~repro.experiments.runner.run_manifest` — JSON manifests with
+  schema-validated params, ``engine`` blocks (partial
+  :class:`~repro.serving.engine.EngineConfig`), sweep grids, deterministic
+  seed threading, and provenance-stamped results (checked-in examples live
+  in ``manifests/``).
+* :func:`run_experiment` — one-off programmatic dispatch by id; parameters
+  are validated against the registered schema.
+
+``EXPERIMENTS`` remains as a read-only id → callable view for pre-registry
+callers; new code should consult the registry
+(:func:`~repro.experiments.spec.get_spec`,
+:func:`~repro.experiments.spec.list_specs`) which also carries schemas,
+tags and engine-block support.
 """
 
-from .comparison import ComparisonConfig, ComparisonOutput, cached_comparison, run_comparison
+from types import MappingProxyType
+
+from .comparison import ComparisonConfig, ComparisonOutput, cached_comparison, run_comparison, run_model_comparison
 from .figures import run_fig1, run_fig4, run_fig5, run_fig6, run_fig7
 from .production import run_batched_serving, run_online_prefetch, run_serving_cost, run_training_throughput
 from .results import ExperimentResult
+from .runner import (
+    ExperimentRun,
+    Manifest,
+    ManifestError,
+    load_manifest,
+    manifest_hash,
+    manifest_to_dict,
+    run_manifest,
+    write_artifacts,
+)
+from .spec import ExperimentSpec, ParamSpec, SpecValidationError, get_spec, list_specs, register
 from .tables import run_table2, run_table3, run_table4, run_table5
 
 __all__ = [
@@ -18,6 +47,7 @@ __all__ = [
     "ComparisonOutput",
     "cached_comparison",
     "run_comparison",
+    "run_model_comparison",
     "ExperimentResult",
     "run_table2",
     "run_table3",
@@ -32,29 +62,42 @@ __all__ = [
     "run_online_prefetch",
     "run_serving_cost",
     "run_training_throughput",
+    # registry
+    "ExperimentSpec",
+    "ParamSpec",
+    "SpecValidationError",
+    "register",
+    "get_spec",
+    "list_specs",
     "EXPERIMENTS",
     "run_experiment",
+    # manifests
+    "Manifest",
+    "ManifestError",
+    "ExperimentRun",
+    "load_manifest",
+    "manifest_to_dict",
+    "manifest_hash",
+    "run_manifest",
+    "write_artifacts",
 ]
 
-EXPERIMENTS = {
-    "table2": run_table2,
-    "table3": run_table3,
-    "table4": run_table4,
-    "table5": run_table5,
-    "fig1": run_fig1,
-    "fig4": run_fig4,
-    "fig5": run_fig5,
-    "fig6": run_fig6,
-    "fig7": run_fig7,
-    "online_prefetch": run_online_prefetch,
-    "serving_cost": run_serving_cost,
-    "batched_serving": run_batched_serving,
-    "train_throughput": run_training_throughput,
-}
+#: Read-only id → callable view of the registry, kept for pre-registry
+#: callers.  The registry itself (``repro.experiments.spec``) is the source
+#: of truth and also carries parameter schemas, tags and bounds.
+EXPERIMENTS = MappingProxyType({spec.experiment_id: spec.fn for spec in list_specs()})
 
 
 def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run a registered experiment by id (e.g. ``"table3"``, ``"fig7"``)."""
-    if experiment_id not in EXPERIMENTS:
-        raise KeyError(f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[experiment_id](**kwargs)
+    """Run a registered experiment by id (e.g. ``"table3"``, ``"fig7"``).
+
+    Keyword arguments are validated against the experiment's registered
+    schema — unknown names and out-of-schema values raise
+    :class:`~repro.experiments.spec.SpecValidationError`.  For reproducible,
+    multi-experiment runs prefer a manifest
+    (``python -m repro.experiments run manifest.json``), which adds sweep
+    grids, seed threading and provenance-stamped artifacts.
+    """
+    # get_spec consults the live registry (not the EXPERIMENTS snapshot), so
+    # experiments registered after package import dispatch too.
+    return get_spec(experiment_id).run(kwargs)

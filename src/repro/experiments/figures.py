@@ -10,10 +10,21 @@ from ..models import GBDTModel, RNNModel, RNNModelConfig, TaskSpec
 from ..serving import OnlineExperiment
 from .comparison import cached_comparison
 from .results import ExperimentResult
+from .spec import ParamSpec, register
 
 __all__ = ["run_fig1", "run_fig4", "run_fig5", "run_fig6", "run_fig7"]
 
 
+@register(
+    "fig1",
+    tags=("figure",),
+    summary="CDF of per-user access rates for each dataset",
+    params=[
+        ParamSpec("scale", "mapping", doc="per-dataset make_dataset overrides"),
+        ParamSpec("seed", "int", default=0, minimum=0),
+        ParamSpec("grid_points", "int", default=21, minimum=2),
+    ],
+)
 def run_fig1(scale: dict[str, dict] | None = None, seed: int = 0, grid_points: int = 21) -> ExperimentResult:
     """Figure 1 — CDF of per-user access rates for each dataset."""
     scale = scale or {"mobiletab": {"n_users": 400}, "timeshift": {"n_users": 400}, "mpu": {"n_users": 100}}
@@ -31,6 +42,16 @@ def run_fig1(scale: dict[str, dict] | None = None, seed: int = 0, grid_points: i
     return result
 
 
+@register(
+    "fig4",
+    tags=("figure", "training"),
+    summary="RNN training log loss vs sessions processed on MPU",
+    params=[
+        ParamSpec("n_users", "int", default=40, minimum=2),
+        ParamSpec("seed", "int", default=0, minimum=0),
+        ParamSpec("epochs", "int", default=8, minimum=1),
+    ],
+)
 def run_fig4(n_users: int = 40, seed: int = 0, epochs: int = 8) -> ExperimentResult:
     """Figure 4 — RNN training log loss vs sessions processed on MPU (8 epochs)."""
     dataset = make_dataset("mpu", seed=seed, n_users=n_users)
@@ -52,6 +73,16 @@ def run_fig4(n_users: int = 40, seed: int = 0, epochs: int = 8) -> ExperimentRes
     return result
 
 
+@register(
+    "fig5",
+    tags=("figure",),
+    summary="Distribution of per-user session counts in MPU",
+    params=[
+        ParamSpec("n_users", "int", default=100, minimum=1),
+        ParamSpec("seed", "int", default=0, minimum=0),
+        ParamSpec("bin_width", "int", default=50, minimum=1),
+    ],
+)
 def run_fig5(n_users: int = 100, seed: int = 0, bin_width: int = 50) -> ExperimentResult:
     """Figure 5 — distribution of per-user session counts in MPU."""
     dataset = make_dataset("mpu", seed=seed, n_users=n_users)
@@ -67,6 +98,16 @@ def run_fig5(n_users: int = 100, seed: int = 0, bin_width: int = 50) -> Experime
     return result
 
 
+@register(
+    "fig6",
+    tags=("figure", "comparison"),
+    summary="Precision-recall curves of all models on MobileTab",
+    params=[
+        ParamSpec("n_users", "int", minimum=2, doc="null uses the shared comparison default scale"),
+        ParamSpec("seed", "int", default=0, minimum=0),
+        ParamSpec("max_points", "int", default=50, minimum=2),
+    ],
+)
 def run_fig6(n_users: int | None = None, seed: int = 0, max_points: int = 50) -> ExperimentResult:
     """Figure 6 — precision-recall curves of all models on MobileTab."""
     output = cached_comparison("mobiletab", n_users=n_users, seed=seed)
@@ -90,6 +131,17 @@ def run_fig6(n_users: int | None = None, seed: int = 0, max_points: int = 50) ->
     return result
 
 
+@register(
+    "fig7",
+    tags=("figure", "online"),
+    summary="Online PR-AUC over 30 days from a cold start (RNN vs GBDT)",
+    params=[
+        ParamSpec("n_train_users", "int", default=150, minimum=2),
+        ParamSpec("n_live_users", "int", default=80, minimum=2),
+        ParamSpec("seed", "int", default=0, minimum=0),
+        ParamSpec("precision_target", "float", default=0.6, minimum=0.0, maximum=1.0),
+    ],
+)
 def run_fig7(
     n_train_users: int = 150,
     n_live_users: int = 80,

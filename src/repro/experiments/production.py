@@ -23,6 +23,7 @@
 from __future__ import annotations
 
 import time
+from typing import Any, Mapping
 
 import numpy as np
 
@@ -45,10 +46,36 @@ from ..serving import (
     rnn_prediction_flops,
 )
 from .results import ExperimentResult
+from .runner import validate_engine_block
+from .spec import ParamSpec, register
 
 __all__ = ["run_online_prefetch", "run_serving_cost", "run_training_throughput", "run_batched_serving"]
 
+#: EngineConfig fields a ``batched_serving`` engine block must not set:
+#: the first four are derived per replayed pipeline (the batch-size/window
+#: sweep loop); ``defer_updates``/``history_window`` have no effect on the
+#: hidden-state dataflow and would pollute provenance if accepted.
+ENGINE_OWNED_FIELDS = (
+    "max_batch_size",
+    "coalescing_window",
+    "coalesce_updates",
+    "store_name",
+    "defer_updates",
+    "history_window",
+)
 
+
+@register(
+    "online_prefetch",
+    tags=("production", "online"),
+    summary="Successful-prefetch uplift of the RNN arm over the GBDT arm",
+    params=[
+        ParamSpec("n_train_users", "int", default=150, minimum=2),
+        ParamSpec("n_live_users", "int", default=80, minimum=2),
+        ParamSpec("seed", "int", default=0, minimum=0),
+        ParamSpec("precision_target", "float", default=0.6, minimum=0.0, maximum=1.0),
+    ],
+)
 def run_online_prefetch(
     n_train_users: int = 150,
     n_live_users: int = 80,
@@ -84,6 +111,17 @@ def run_online_prefetch(
     return result
 
 
+@register(
+    "serving_cost",
+    tags=("production", "serving"),
+    summary="Per-prediction serving cost: hidden-state path vs aggregation path",
+    params=[
+        ParamSpec("n_users", "int", default=100, minimum=5),
+        ParamSpec("n_replay_users", "int", default=20, minimum=1),
+        ParamSpec("seed", "int", default=0, minimum=0),
+        ParamSpec("hidden_size", "int", default=48, minimum=1),
+    ],
+)
 def run_serving_cost(
     n_users: int = 100,
     n_replay_users: int = 20,
@@ -181,6 +219,38 @@ def _bursty_arrivals(rng, start: int, n_requests: int, burst_size: int, burst_sp
     return np.repeat(bursts, burst_size)[:n_requests]
 
 
+@register(
+    "batched_serving",
+    tags=("production", "serving", "load"),
+    summary="Load generator for the batched, sharded hidden-state engine",
+    params=[
+        ParamSpec("n_users", "int", default=60, minimum=2),
+        ParamSpec("n_requests", "int", default=2000, minimum=1),
+        ParamSpec("arrival_rate", "float", default=50.0, minimum=0.001),
+        ParamSpec("batch_sizes", "int_list", default=(1, 8, 64), minimum=1),
+        ParamSpec("n_shards", "int", default=4, minimum=1),
+        ParamSpec("hidden_size", "int", default=24, minimum=1),
+        ParamSpec("seed", "int", default=0, minimum=0),
+        ParamSpec(
+            "scenarios",
+            "str_list",
+            default=("poisson", "bursty", "window_sweep"),
+            choices=("poisson", "bursty", "window_sweep"),
+        ),
+        ParamSpec("burst_size", "int", default=64, minimum=1),
+        ParamSpec("burst_spacing", "int", default=30, minimum=1),
+        ParamSpec(
+            "coalescing_windows",
+            "int_list",
+            minimum=0,
+            doc="null derives (0, burst_spacing, 4*burst_spacing)",
+        ),
+        ParamSpec("via_engine", "bool", default=False),
+    ],
+    engine_param="engine_config",
+    engine_reserved=ENGINE_OWNED_FIELDS,
+    engine_backends=("hidden_state",),
+)
 def run_batched_serving(
     n_users: int = 60,
     n_requests: int = 2000,
@@ -194,6 +264,7 @@ def run_batched_serving(
     burst_spacing: int = 30,
     coalescing_windows: tuple[int, ...] | None = None,
     via_engine: bool = False,
+    engine_config: Mapping[str, Any] | None = None,
 ) -> ExperimentResult:
     """Load generator for the batched, sharded hidden-state engine.
 
@@ -226,6 +297,14 @@ def run_batched_serving(
     :class:`~repro.serving.engine.ServingEngine` facade instead of
     hand-wiring backend + queue; the two constructions are pinned
     bit-identical, so this only changes which code path CI exercises.
+
+    ``engine_config`` (a manifest's ``engine`` block) is a partial
+    :class:`~repro.serving.engine.EngineConfig` as a mapping; supplying one
+    implies ``via_engine=True`` and overrides the pipeline template — shard
+    topology, quantization, ``extra_lag`` — while the fields the sweep loop
+    owns per replay (``ENGINE_OWNED_FIELDS``) are rejected.  A declared
+    ``session_length`` must match the generated dataset's; the config stays
+    the declarative source of truth, contradictions are hard errors.
     """
     if not batch_sizes:
         raise ValueError("at least one batch size is required")
@@ -238,6 +317,37 @@ def run_batched_serving(
         coalescing_windows = (0, burst_spacing, 4 * burst_spacing)
     extra_lag = 60  # BatchedHiddenStateBackend default
     dataset = make_dataset("mobiletab", seed=seed, n_users=n_users)
+
+    # A manifest "engine" block is a partial EngineConfig template for the
+    # facade-built pipelines; resolve it against this workload up front.
+    engine_overrides: dict[str, Any] = {}
+    if engine_config is not None:
+        via_engine = True
+        # Same validator the manifest loader runs, so direct calls and
+        # manifests reject bad engine blocks with identical wording.
+        engine_overrides = validate_engine_block(
+            engine_config,
+            reserved=ENGINE_OWNED_FIELDS,
+            backends=("hidden_state",),
+            where="engine_config",
+        )
+        if "n_shards" in engine_overrides:
+            # Same rule the manifest loader enforces: the n_shards parameter
+            # is the one owner of shard topology, so provenance (which
+            # records resolved params) can never contradict the built
+            # pipeline.
+            raise ValueError(
+                "set shard topology via the n_shards parameter, not engine_config; "
+                "an engine-block n_shards would shadow the parameter and falsify provenance"
+            )
+        engine_overrides.pop("backend", None)
+        declared_length = engine_overrides.pop("session_length", None)
+        if declared_length is not None and declared_length != dataset.session_length:
+            raise ValueError(
+                f"engine_config session_length {declared_length} contradicts the generated "
+                f"dataset's session_length {dataset.session_length}"
+            )
+        extra_lag = engine_overrides.get("extra_lag", extra_lag)
 
     # Arrival offsets first (before the training spend), so a workload whose
     # span would let session-end timers fire mid-serve — polluting the
@@ -319,6 +429,7 @@ def run_batched_serving(
                     session_length=dataset.session_length,
                     coalesce_updates=coalesce,
                     store_name=store_name,
+                    **engine_overrides,
                 ),
                 network=rnn.network,
                 builder=rnn.builder,
@@ -439,6 +550,7 @@ def run_batched_serving(
         "burst_size": burst_size,
         "coalescing_windows": list(coalescing_windows) if "window_sweep" in scenarios else [],
         "via_engine": via_engine,
+        "engine_config": dict(engine_config) if engine_config is not None else None,
         "throughput_speedup": (
             prediction_speedups.get("poisson", max(prediction_speedups.values()))
             if prediction_speedups
@@ -450,6 +562,16 @@ def run_batched_serving(
     return result
 
 
+@register(
+    "train_throughput",
+    tags=("production", "training"),
+    summary="RNN training throughput by minibatch evaluation strategy",
+    params=[
+        ParamSpec("n_users", "int", default=40, minimum=2),
+        ParamSpec("seed", "int", default=0, minimum=0),
+        ParamSpec("epochs", "int", default=1, minimum=1),
+    ],
+)
 def run_training_throughput(
     n_users: int = 40,
     seed: int = 0,
@@ -487,11 +609,25 @@ def run_training_throughput(
     return result
 
 
+#: The ``--smoke`` workload, also checked in as ``manifests/smoke.json``:
+#: small and fast, but still exercising both arrival scenarios, the
+#: per-timer baseline and the wave path.
+SMOKE_PARAMS = {"n_users": 16, "n_requests": 256, "batch_sizes": [1, 32], "burst_size": 32, "burst_spacing": 15}
+
+
 def main(argv: list[str] | None = None) -> None:
-    """CLI entry point: run the batched-serving benchmark (CI uses ``--smoke``)."""
+    """Deprecated CLI, kept as a thin shim over the manifest runner.
+
+    ``python -m repro.experiments run manifests/smoke.json`` is the one
+    experiments CLI now; this entry point builds the equivalent in-memory
+    manifest and delegates, so pre-manifest automation keeps working.
+    """
     import argparse
 
-    parser = argparse.ArgumentParser(description="Run the batched_serving load-generator benchmark")
+    parser = argparse.ArgumentParser(
+        description="Run the batched_serving load-generator benchmark "
+        "(shim over `python -m repro.experiments run`)"
+    )
     parser.add_argument(
         "--smoke",
         action="store_true",
@@ -503,12 +639,15 @@ def main(argv: list[str] | None = None) -> None:
         help="build every pipeline through the ServingEngine facade instead of hand-wiring",
     )
     args = parser.parse_args(argv)
-    kwargs = (
-        dict(n_users=16, n_requests=256, batch_sizes=(1, 32), burst_size=32, burst_spacing=15)
-        if args.smoke
-        else {}
-    )
-    result = run_batched_serving(via_engine=args.engine, **kwargs)
+    from .runner import load_manifest, run_manifest
+
+    entry: dict[str, Any] = {"id": "batched_serving"}
+    if args.smoke:
+        entry["params"] = dict(SMOKE_PARAMS)
+    if args.engine:
+        entry["engine"] = {"backend": "hidden_state"}
+    (run,) = run_manifest(load_manifest({"experiments": [entry]}))
+    result = run.result
     print(result.format_table())
     print(f"  prediction speedups: {result.metadata['prediction_speedups']}")
     print(f"  update-drain speedups: {result.metadata['update_drain_speedups']}")

@@ -7,6 +7,8 @@ from typing import Any
 
 __all__ = ["ExperimentResult"]
 
+_MISSING = object()
+
 
 @dataclass
 class ExperimentResult:
@@ -23,13 +25,17 @@ class ExperimentResult:
     metadata: dict[str, Any] = field(default_factory=dict)
     paper_reference: str = ""
 
+    def columns(self) -> list[str]:
+        """Union of row keys in first-seen order — heterogeneous rows (e.g.
+        the window_sweep scenario's extra columns) must not drop columns.
+        The single source of column order for rendering and CSV artifacts."""
+        return list(dict.fromkeys(key for row in self.rows for key in row))
+
     def format_table(self) -> str:
         """Render the rows as a fixed-width text table."""
         if not self.rows:
             return f"[{self.experiment_id}] (no rows)"
-        # Union of keys in first-seen order: heterogeneous rows (e.g. the
-        # window_sweep scenario's extra columns) must not drop columns.
-        columns = list(dict.fromkeys(key for row in self.rows for key in row))
+        columns = self.columns()
         widths = {
             column: max(len(str(column)), *(len(str(row.get(column, ""))) for row in self.rows))
             for column in columns
@@ -41,8 +47,27 @@ class ExperimentResult:
             lines.append(" | ".join(str(row.get(column, "")).ljust(widths[column]) for column in columns))
         return "\n".join(lines)
 
-    def column(self, name: str) -> list[Any]:
-        """Extract one column across all rows."""
+    def column(self, name: str, default: Any = _MISSING, *, skip_missing: bool = False) -> list[Any]:
+        """Extract one column across all rows.
+
+        Rows are heterogeneous under ``format_table``'s key-union contract
+        (e.g. the window_sweep scenario's extra columns), so a column may be
+        absent from some rows.  ``default`` fills the gaps; ``skip_missing``
+        drops those rows instead.  With neither, a missing key raises
+        ``KeyError`` naming the offending rows.
+        """
+        if skip_missing and default is not _MISSING:
+            raise ValueError("pass either default= or skip_missing=True, not both")
+        if skip_missing:
+            return [row[name] for row in self.rows if name in row]
+        if default is not _MISSING:
+            return [row.get(name, default) for row in self.rows]
+        missing = [index for index, row in enumerate(self.rows) if name not in row]
+        if missing:
+            raise KeyError(
+                f"column {name!r} is missing from rows {missing[:8]} of {self.experiment_id!r}; "
+                "rows are heterogeneous (format_table unions keys) — pass default= or skip_missing=True"
+            )
         return [row[name] for row in self.rows]
 
     def row_for(self, **criteria: Any) -> dict[str, Any]:

@@ -10,6 +10,7 @@ from ..metrics import pr_auc, recall_at_precision
 from ..models import GBDTModel, RNNModel, RNNModelConfig, TaskSpec
 from .comparison import MODEL_ORDER, cached_comparison, default_task_for
 from .results import ExperimentResult
+from .spec import ParamSpec, register
 
 __all__ = ["run_table2", "run_table3", "run_table4", "run_table5"]
 
@@ -29,6 +30,15 @@ PAPER_TABLE4 = {
 PAPER_TABLE5 = {"C": 0.588, "E+C": 0.642, "A+E+C": 0.686, "RNN": 0.767}
 
 
+@register(
+    "table2",
+    tags=("table",),
+    summary="Dataset summary statistics (positive rate, sessions, users)",
+    params=[
+        ParamSpec("scale", "mapping", doc="per-dataset make_dataset overrides, e.g. {\"mpu\": {\"n_users\": 8}}"),
+        ParamSpec("seed", "int", default=0, minimum=0),
+    ],
+)
 def run_table2(scale: dict[str, dict] | None = None, seed: int = 0) -> ExperimentResult:
     """Table 2 — summary statistics of each dataset."""
     scale = scale or {"mobiletab": {"n_users": 400}, "timeshift": {"n_users": 400}, "mpu": {"n_users": 100}}
@@ -69,6 +79,15 @@ def _default_datasets(n_users: dict[str, int] | None) -> dict[str, dict]:
     }
 
 
+@register(
+    "table3",
+    tags=("table", "comparison"),
+    summary="PR-AUC of every model on every dataset",
+    params=[
+        ParamSpec("n_users", "mapping", doc="per-dataset user-count overrides, e.g. {\"mpu\": 32}"),
+        ParamSpec("seed", "int", default=0, minimum=0),
+    ],
+)
 def run_table3(n_users: dict[str, int] | None = None, seed: int = 0) -> ExperimentResult:
     """Table 3 — PR-AUC of every model on every dataset."""
     result = ExperimentResult(
@@ -80,6 +99,15 @@ def run_table3(n_users: dict[str, int] | None = None, seed: int = 0) -> Experime
     return result
 
 
+@register(
+    "table4",
+    tags=("table", "comparison"),
+    summary="Recall at 50% precision of every model on every dataset",
+    params=[
+        ParamSpec("n_users", "mapping", doc="per-dataset user-count overrides, e.g. {\"mpu\": 32}"),
+        ParamSpec("seed", "int", default=0, minimum=0),
+    ],
+)
 def run_table4(n_users: dict[str, int] | None = None, seed: int = 0) -> ExperimentResult:
     """Table 4 — recall at 50% precision of every model on every dataset."""
     result = ExperimentResult(
@@ -91,6 +119,15 @@ def run_table4(n_users: dict[str, int] | None = None, seed: int = 0) -> Experime
     return result
 
 
+@register(
+    "table5",
+    tags=("table", "ablation"),
+    summary="GBDT feature-engineering ablation on MPU, with the RNN reference row",
+    params=[
+        ParamSpec("n_users", "int", default=64, minimum=4),
+        ParamSpec("seed", "int", default=0, minimum=0),
+    ],
+)
 def run_table5(n_users: int = 64, seed: int = 0) -> ExperimentResult:
     """Table 5 — GBDT feature-engineering ablation on MPU, with the RNN reference row.
 

@@ -138,7 +138,9 @@ class SessionStreamMixin:
             self._timer_group.set_timer(fire_at, key, payload=(user_id, timestamp))
         else:
             self.stream.set_timer(
-                fire_at, key, lambda _key, events, u=user_id, t=timestamp: self._on_timer(u, t, events)
+                fire_at,
+                key,
+                lambda _key, events, u=user_id, t=timestamp, f=fire_at: self._on_timer(u, t, f, events),
             )
 
     @staticmethod
@@ -153,7 +155,11 @@ class SessionStreamMixin:
                 accessed = accessed or bool(event.payload["accessed"])
         return SessionUpdate(user_id=user_id, timestamp=timestamp, context=context, accessed=accessed)
 
-    def _on_timer(self, user_id: int, timestamp: int, events: list[StreamEvent]) -> None:
+    def _on_timer(self, user_id: int, timestamp: int, fire_at: int, events: list[StreamEvent]) -> None:
+        # A coalescing window delays ungrouped timers too: the clock sits at
+        # the window's close when this runs, so meter the wait exactly as
+        # _on_wave does (0 under same-second delivery).
+        self.update_delay_seconds += max(self.stream.clock - fire_at, 0)
         self.apply_wave([self._session_update(user_id, timestamp, events)])
 
     def _on_wave(self, firings: list[TimerFiring]) -> None:

@@ -26,6 +26,7 @@ def test_registry_contains_every_paper_artefact():
         "fig5",
         "fig6",
         "fig7",
+        "comparison",
         "online_prefetch",
         "serving_cost",
         "batched_serving",
@@ -34,6 +35,39 @@ def test_registry_contains_every_paper_artefact():
     assert expected == set(EXPERIMENTS)
     with pytest.raises(KeyError):
         run_experiment("table99")
+
+
+def test_experiments_mapping_is_read_only():
+    with pytest.raises(TypeError):
+        EXPERIMENTS["rogue"] = lambda: None  # the registry is the only registration path
+
+
+def test_column_handles_heterogeneous_rows():
+    """Regression: window_sweep-style rows carry columns other rows lack.
+
+    ``column()`` must mirror ``format_table``'s key-union handling instead of
+    crashing: an explicit ``default`` fills the gaps, ``skip_missing`` drops
+    the rows, and the bare call still raises a KeyError that names the
+    offending rows.
+    """
+    result = ExperimentResult(
+        experiment_id="batched_serving",
+        description="heterogeneous",
+        rows=[
+            {"scenario": "poisson", "batch_size": 1, "kv_gets_per_request": 1.0},
+            {"scenario": "window_sweep", "batch_size": 8, "mean_update_delay": 7.5},
+        ],
+    )
+    with pytest.raises(KeyError, match="rows are heterogeneous"):
+        result.column("mean_update_delay")
+    assert result.column("mean_update_delay", default=None) == [None, 7.5]
+    assert result.column("mean_update_delay", skip_missing=True) == [7.5]
+    assert result.column("batch_size") == [1, 8]  # homogeneous columns unchanged
+    with pytest.raises(ValueError, match="not both"):
+        result.column("batch_size", default=0, skip_missing=True)
+    # format_table's key-union contract keeps rendering both row shapes.
+    rendered = result.format_table()
+    assert "mean_update_delay" in rendered and "kv_gets_per_request" in rendered
 
 
 def test_table2_rows_and_formatting():

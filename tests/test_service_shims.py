@@ -1,0 +1,103 @@
+"""Deprecation shims: warn on construction, behave identically to the facade.
+
+``HiddenStateService`` and ``AggregationFeatureService`` are thin shims that
+build a :class:`ServingEngine` internally.  These tests pin the two halves of
+that contract: every construction emits a :class:`DeprecationWarning`, and a
+shim-built engine equals a facade-built one — same :class:`EngineConfig`,
+same predictions, same meters — on both dataflows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import ContextField, ContextSchema, make_dataset, user_split
+from repro.features.sequence import SequenceBuilder
+from repro.models import GBDTModel, RNNModelConfig, TaskSpec
+from repro.models.rnn import RNNNetworkConfig, RNNPrecomputeNetwork
+from repro.serving import (
+    AggregationFeatureService,
+    EngineConfig,
+    HiddenStateService,
+    KeyValueStore,
+    ServingEngine,
+    StreamProcessor,
+)
+
+
+def _hidden_parts():
+    schema = ContextSchema(fields=(ContextField("badge", "numeric"),))
+    builder = SequenceBuilder(schema)
+    network = RNNPrecomputeNetwork(
+        RNNNetworkConfig(feature_dim=builder.feature_dim, hidden_size=8, mlp_hidden=6),
+        rng=np.random.default_rng(2),
+    ).eval()
+    rng = np.random.default_rng(3)
+    events, clock = [], 1_600_000_000
+    for _ in range(120):
+        clock += int(rng.integers(0, 90))
+        events.append(
+            (clock, int(rng.integers(0, 6)), {"badge": float(rng.integers(0, 5))}, bool(rng.integers(0, 2)))
+        )
+    return network, builder, events
+
+
+class TestHiddenStateShim:
+    def test_construction_warns_and_engine_equals_facade_built(self):
+        network, builder, events = _hidden_parts()
+        with pytest.warns(DeprecationWarning, match="HiddenStateService is deprecated"):
+            service = HiddenStateService(
+                network, builder, KeyValueStore(), StreamProcessor(), 600, max_batch_size=7
+            )
+        facade = ServingEngine.build(
+            EngineConfig(backend="hidden_state", max_batch_size=7, session_length=600, store_name="kv"),
+            network=network,
+            builder=builder,
+        )
+        # The shim's internal engine is declaratively identical...
+        assert service.serving_engine.config == facade.config
+        # ...and observably identical: same deliveries, meters and traffic.
+        shim_predictions = service.serving_engine.replay(events)
+        facade_predictions = facade.replay(events)
+        assert [p.probability for p in shim_predictions] == [p.probability for p in facade_predictions]
+        assert service.serving_engine.updates_applied == facade.updates_applied == len(events)
+        assert service.serving_engine.storage_bytes == facade.storage_bytes
+        assert service.store.stats.gets == facade.store.stats.gets
+
+
+class TestAggregationShim:
+    @pytest.fixture(scope="class")
+    def trained_gbdt(self):
+        dataset = make_dataset("mobiletab", seed=13, n_users=24, n_days=10)
+        split = user_split(dataset, test_fraction=0.25, seed=0)
+        gbdt = GBDTModel(depths=(3,)).fit(split.train, TaskSpec(kind="session"))
+        return dataset, split, gbdt
+
+    def test_construction_warns_and_engine_equals_facade_built(self, trained_gbdt):
+        dataset, split, gbdt = trained_gbdt
+        with pytest.warns(DeprecationWarning, match="AggregationFeatureService is deprecated"):
+            service = AggregationFeatureService(
+                gbdt.featurizer, gbdt.estimator, dataset.schema, KeyValueStore()
+            )
+        facade = ServingEngine.build(
+            EngineConfig(backend="aggregation", store_name="kv"),
+            featurizer=gbdt.featurizer,
+            estimator=gbdt.estimator,
+            schema=dataset.schema,
+        )
+        assert service.serving_engine.config == facade.config
+        user = max(split.test.users, key=len)
+        for index in range(len(user)):
+            timestamp = int(user.timestamps[index])
+            context = user.context_row(index)
+            shim_prediction = service.predict(user.user_id, context, timestamp)
+            facade_prediction = facade.predict(user.user_id, context, timestamp)
+            assert shim_prediction.probability == facade_prediction.probability
+            assert shim_prediction.kv_lookups == facade_prediction.kv_lookups == 20
+            accessed = bool(user.accesses[index])
+            service.observe_session(user.user_id, context, timestamp, accessed)
+            facade.observe_session(user.user_id, context, timestamp, accessed)
+        assert service.updates_applied == facade.updates_applied == len(user)
+        assert service.storage_bytes == facade.storage_bytes
+        assert service.store.stats.snapshot() == facade.store.stats.snapshot()

@@ -194,6 +194,26 @@ def replay(parts, events, *, coalesce, store, batch_size, window=0):
 
 
 class TestWaveEquivalence:
+    def test_per_timer_delivery_meters_the_same_window_delay_as_waves(self, serving_parts):
+        """Regression: a coalescing window delays ungrouped timers too, and
+        ``update_delay_seconds`` must say so (it used to stay 0 on the
+        per-timer path, hiding the window_sweep latency cost at batch 1)."""
+        rng = np.random.default_rng(4000)
+        events = random_session_events(rng)
+        _, _, single_service = replay(
+            serving_parts, events, coalesce=False, store=KeyValueStore(), batch_size=1, window=45
+        )
+        _, _, wave_service = replay(
+            serving_parts, events, coalesce=True, store=KeyValueStore(), batch_size=1, window=45
+        )
+        assert single_service.backend.update_delay_seconds > 0
+        assert single_service.backend.update_delay_seconds == wave_service.backend.update_delay_seconds
+        # Same-second delivery still adds no latency on either path.
+        _, _, immediate = replay(
+            serving_parts, events, coalesce=False, store=KeyValueStore(), batch_size=1, window=0
+        )
+        assert immediate.backend.update_delay_seconds == 0
+
     @pytest.mark.parametrize("batch_size", [1, 16])
     def test_wave_updates_bit_identical_to_per_timer_updates(self, serving_parts, batch_size):
         for trial in range(8):
