@@ -15,9 +15,13 @@
   batches session-end GRU updates), per-request KV traffic and measured
   serving cost as functions of the batch size, arrival pattern and shard
   count, plus a ``window_sweep`` scenario charting the coalescing-window
-  latency/wave-size trade-off.  ``python -m repro.experiments.production
-  --smoke`` runs a small version for CI; ``--engine`` builds every pipeline
-  through the :class:`~repro.serving.engine.ServingEngine` facade.
+  latency/wave-size trade-off and two SLO scenarios — ``overload`` (ramped
+  Poisson arrivals past a :class:`~repro.serving.slo.ServerModel`'s
+  capacity, with and without shedding admission control) and ``slo_sweep``
+  (the shed-rate vs p99-update-latency frontier across queue-depth
+  bounds).  ``python -m repro.experiments.production --smoke`` runs a
+  small version for CI; ``--engine`` builds every pipeline through the
+  :class:`~repro.serving.engine.ServingEngine` facade.
 """
 
 from __future__ import annotations
@@ -37,9 +41,11 @@ from ..serving import (
     EngineConfig,
     MicroBatchQueue,
     OnlineExperiment,
+    ServerModel,
     ServingEngine,
     SessionUpdate,
     ShardedKeyValueStore,
+    SloPolicy,
     StreamProcessor,
     estimate_serving_costs,
     kv_traffic_cost,
@@ -169,6 +175,12 @@ def run_serving_cost(
     hidden_engine.close()
     aggregation_engine.close()
     predictions = len(events)
+    # Full registry dumps of both facade-built pipelines: the measured side
+    # of the cost comparison, exported into the manifest runner's artifacts.
+    metrics_snapshots = {
+        "hidden_state": hidden_engine.metrics.snapshot(),
+        "aggregation": aggregation_engine.metrics.snapshot(),
+    }
 
     result = ExperimentResult(
         experiment_id="serving_cost",
@@ -183,6 +195,7 @@ def run_serving_cost(
             "gbdt_kv_gets": gbdt_store.stats.gets,
             "rnn_storage_bytes": rnn_store.total_bytes,
             "gbdt_storage_bytes": gbdt_store.total_bytes,
+            "metrics": metrics_snapshots,
         },
     )
     for report in reports.values():
@@ -219,6 +232,23 @@ def _bursty_arrivals(rng, start: int, n_requests: int, burst_size: int, burst_sp
     return np.repeat(bursts, burst_size)[:n_requests]
 
 
+def _ramped_arrivals(rng, start: int, n_requests: int, base_rate: float, peak_rate: float) -> np.ndarray:
+    """Poisson arrivals whose rate ramps linearly from ``base_rate`` to
+    ``peak_rate`` over the stream — the overload shape: offered load starts
+    inside capacity and climbs past it, so the server backlog builds
+    steadily instead of arriving as a cliff."""
+    rates = np.linspace(base_rate, peak_rate, n_requests)
+    gaps = rng.exponential(1.0 / rates)
+    return start + np.floor(gaps.cumsum()).astype(np.int64)
+
+
+#: Scenarios that deliberately span more than one session window: session-end
+#: timers fire *mid-serve* (through the queue's barrier), which is the point —
+#: update latency must be observable while the server is backlogged.  They are
+#: exempt from the arrival-span guard the pure-metering scenarios enforce.
+OVERLOAD_SCENARIOS = ("overload", "slo_sweep")
+
+
 @register(
     "batched_serving",
     tags=("production", "serving", "load"),
@@ -235,7 +265,7 @@ def _bursty_arrivals(rng, start: int, n_requests: int, burst_size: int, burst_sp
             "scenarios",
             "str_list",
             default=("poisson", "bursty", "window_sweep"),
-            choices=("poisson", "bursty", "window_sweep"),
+            choices=("poisson", "bursty", "window_sweep", "overload", "slo_sweep"),
         ),
         ParamSpec("burst_size", "int", default=64, minimum=1),
         ParamSpec("burst_spacing", "int", default=30, minimum=1),
@@ -246,6 +276,29 @@ def _bursty_arrivals(rng, start: int, n_requests: int, burst_size: int, burst_sp
             doc="null derives (0, burst_spacing, 4*burst_spacing)",
         ),
         ParamSpec("via_engine", "bool", default=False),
+        ParamSpec(
+            "service_rate",
+            "float",
+            default=0.5,
+            minimum=1e-6,
+            doc="simulated serving capacity (requests/s) for the overload scenarios",
+        ),
+        ParamSpec("overload_base_rate", "float", default=0.3, minimum=1e-6),
+        ParamSpec("overload_peak_rate", "float", default=1.8, minimum=1e-6),
+        ParamSpec(
+            "slo_queue_depth",
+            "int",
+            default=64,
+            minimum=0,
+            doc="admission bound on effective queue depth; 0 disables shedding",
+        ),
+        ParamSpec("slo_mode", "str", default="shed", choices=("shed", "defer")),
+        ParamSpec(
+            "slo_queue_depths",
+            "int_list",
+            minimum=0,
+            doc="slo_sweep bounds; null derives (0, depth/4, depth, 4*depth)",
+        ),
     ],
     engine_param="engine_config",
     engine_reserved=ENGINE_OWNED_FIELDS,
@@ -264,6 +317,12 @@ def run_batched_serving(
     burst_spacing: int = 30,
     coalescing_windows: tuple[int, ...] | None = None,
     via_engine: bool = False,
+    service_rate: float = 0.5,
+    overload_base_rate: float = 0.3,
+    overload_peak_rate: float = 1.8,
+    slo_queue_depth: int = 64,
+    slo_mode: str = "shed",
+    slo_queue_depths: tuple[int, ...] | None = None,
     engine_config: Mapping[str, Any] | None = None,
 ) -> ExperimentResult:
     """Load generator for the batched, sharded hidden-state engine.
@@ -293,10 +352,32 @@ def run_batched_serving(
     updates, fewer deliveries) at the price of ``mean_update_delay`` —
     simulated seconds each update waited past its own fire time.
 
+    The ``overload`` scenario models offered load exceeding capacity: a
+    ramped Poisson stream (``overload_base_rate`` → ``overload_peak_rate``
+    requests/s) spanning several session windows drives a facade-built
+    pipeline whose :class:`~repro.serving.slo.ServerModel` drains
+    ``service_rate`` requests per simulated second, so the backlog — and
+    with it the end-to-end update latency (wave wait plus backlog at
+    delivery) — grows through the ramp.  Two arms replay the identical
+    stream: ``open`` (no admission control) and ``slo`` (an admission
+    controller shedding — or, with ``slo_mode="defer"``, parking — new
+    requests whenever the effective queue depth reaches
+    ``slo_queue_depth``).  With ``slo_queue_depth=0`` the controlled arm's
+    policy is empty and the experiment *asserts* its predictions are
+    bit-identical to the open arm — admission plumbing with shedding
+    disabled is a no-op by contract.  ``slo_sweep`` replays the same
+    overload stream across several depth bounds (``slo_queue_depths``,
+    default derived from ``slo_queue_depth``), charting shed rate against
+    p99 update latency.
+
     ``via_engine=True`` builds each pipeline through the
     :class:`~repro.serving.engine.ServingEngine` facade instead of
     hand-wiring backend + queue; the two constructions are pinned
-    bit-identical, so this only changes which code path CI exercises.
+    bit-identical, so this only changes which code path CI exercises.  The
+    overload scenarios always build through the facade (they need the
+    engine's metrics registry), and the last facade-built pipeline's
+    ``engine.metrics.snapshot()`` is exported in
+    ``result.metadata["metrics"]`` for the manifest runner's artifacts.
 
     ``engine_config`` (a manifest's ``engine`` block) is a partial
     :class:`~repro.serving.engine.EngineConfig` as a mapping; supplying one
@@ -310,11 +391,22 @@ def run_batched_serving(
         raise ValueError("at least one batch size is required")
     if not scenarios:
         raise ValueError("at least one scenario is required")
-    unknown = set(scenarios) - {"poisson", "bursty", "window_sweep"}
+    unknown = set(scenarios) - {"poisson", "bursty", "window_sweep", "overload", "slo_sweep"}
     if unknown:
         raise ValueError(f"unknown scenarios: {sorted(unknown)}")
     if coalescing_windows is None:
         coalescing_windows = (0, burst_spacing, 4 * burst_spacing)
+    if overload_peak_rate < overload_base_rate:
+        raise ValueError("overload_peak_rate must be >= overload_base_rate (the ramp goes up)")
+    if slo_queue_depths is None:
+        if slo_queue_depth > 0:
+            derived = (0, max(slo_queue_depth // 4, 1), slo_queue_depth, slo_queue_depth * 4)
+        else:
+            # Shedding disabled: the frontier collapses to the open arm.
+            derived = (0,)
+        # Small depths make derived points collide (e.g. depth 1 → 0,1,1,4);
+        # never replay the identical bound twice.
+        slo_queue_depths = tuple(dict.fromkeys(derived))
     extra_lag = 60  # BatchedHiddenStateBackend default
     dataset = make_dataset("mobiletab", seed=seed, n_users=n_users)
 
@@ -341,6 +433,15 @@ def run_batched_serving(
                 "an engine-block n_shards would shadow the parameter and falsify provenance"
             )
         engine_overrides.pop("backend", None)
+        if engine_overrides.get("telemetry") is False and set(scenarios) & set(OVERLOAD_SCENARIOS):
+            # Every latency statistic the overload rows report is read from
+            # the engine's registry; a disabled registry would silently
+            # zero them all, so the contradiction is a hard error.
+            raise ValueError(
+                "the overload/slo_sweep scenarios read their latency statistics from the "
+                "engine's metrics registry; \"telemetry\": false in the engine block would "
+                "silently zero every reported p99 — drop the override or the scenarios"
+            )
         declared_length = engine_overrides.pop("session_length", None)
         if declared_length is not None and declared_length != dataset.session_length:
             raise ValueError(
@@ -356,6 +457,14 @@ def run_batched_serving(
     rng = np.random.default_rng(seed + 7)
     offsets_by_scenario: dict[str, np.ndarray] = {}
     for scenario in scenarios:
+        if scenario in OVERLOAD_SCENARIOS:
+            # Overload streams deliberately span several session windows —
+            # timers must fire mid-serve, while the server is backlogged —
+            # so the mid-serve guard below does not apply.
+            offsets_by_scenario[scenario] = _ramped_arrivals(
+                rng, 0, n_requests, overload_base_rate, overload_peak_rate
+            )
+            continue
         if scenario == "poisson":
             offsets = _poisson_arrivals(rng, 0, n_requests, arrival_rate)
         else:
@@ -494,17 +603,148 @@ def run_batched_serving(
             "cost_per_request": cost_per_request,
             "mean_batch": queue.mean_batch_size,
             "load_imbalance": store.load_imbalance(),
+            "metrics": engine.metrics.snapshot() if via_engine else {},
         }
+
+    def run_overload_replay(scenario: str, requests, batch_size: int, depth_bound: int) -> dict:
+        """One overload arm: facade-built pipeline with a capacity model.
+
+        ``depth_bound == 0`` disables admission (the policy has no bounds,
+        so the controller is provably a no-op); otherwise new requests are
+        shed (or parked, under ``slo_mode="defer"``) whenever the effective
+        queue depth — pending micro-batch requests plus the server backlog
+        in requests — reaches the bound.
+        """
+        store_name = f"rnn-{scenario}-b{batch_size}-d{depth_bound}"
+        server = ServerModel(service_rate)
+        policy = SloPolicy(max_queue_depth=depth_bound or None)
+        engine = ServingEngine.build(
+            EngineConfig(
+                backend="hidden_state",
+                max_batch_size=batch_size,
+                n_shards=n_shards,
+                session_length=dataset.session_length,
+                coalesce_updates=batch_size > 1,
+                store_name=store_name,
+                **engine_overrides,
+            ),
+            network=rnn.network,
+            builder=rnn.builder,
+            server=server,
+            slo_policy=policy,
+            admission_mode=slo_mode,
+        )
+        backend = engine.backend
+        backend.apply_wave(
+            [
+                SessionUpdate(user_id=user.user_id, timestamp=start - 3600, context=user.context_row(0), accessed=True)
+                for user in active_users
+            ]
+        )
+        engine.store.reset_stats()
+        warm_updates = backend.updates_applied
+
+        # The shared replay idiom is admission-aware: sessions are observed
+        # whether or not their prediction was admitted (shedding protects
+        # the scoring path, not ground truth — every arm applies the
+        # identical update stream), shed requests are excluded from the
+        # delivery count, and deferred ones are force-drained at the end.
+        served = engine.replay(requests)
+
+        admission = engine.admission
+        updates_applied = backend.updates_applied - warm_updates
+        assert updates_applied == n_requests
+        assert len(served) == n_requests - admission.requests_shed
+        # The end-to-end update *latency* (wave wait + server backlog at
+        # delivery) — one histogram supplies every latency statistic in the
+        # rows, so mean and p99 always describe the same distribution.
+        latency = engine.metrics.histogram("serving.update_latency_seconds")
+        queue_latency = engine.metrics.histogram("queue.latency_seconds")
+        measured = {
+            "offered": n_requests,
+            "served": len(served),
+            "shed": admission.requests_shed,
+            "deferred": admission.requests_deferred,
+            "shed_rate": admission.shed_rate,
+            "p99_update_latency": latency.quantile(0.99),
+            "p50_update_latency": latency.quantile(0.50),
+            "mean_update_latency": latency.mean,
+            "p99_queue_latency": queue_latency.quantile(0.99),
+            "peak_backlog_seconds": server.peak_backlog_seconds,
+            "probabilities": [prediction.probability for prediction in served],
+            "metrics": engine.metrics.snapshot(),
+        }
+        engine.close()
+        return measured
 
     prediction_speedups: dict[str, float] = {}
     update_speedups: dict[str, float] = {}
+    shed_rates: dict[str, float] = {}
+    metrics_snapshot: dict[str, Any] = {}
     for scenario, requests in streams_by_scenario.items():
+        if scenario == "overload":
+            # Two arms over the identical ramped stream: uncontrolled vs
+            # SLO-admission-controlled.  The open arm must show the cost of
+            # overload (higher p99 update latency) that the controller buys
+            # back by shedding.
+            overload_batch = max(batch_sizes)
+            open_arm = run_overload_replay(scenario, requests, overload_batch, 0)
+            slo_arm = run_overload_replay(scenario, requests, overload_batch, slo_queue_depth)
+            if slo_queue_depth == 0 and slo_arm["probabilities"] != open_arm["probabilities"]:
+                raise AssertionError(
+                    "admission control with shedding disabled must be bit-invisible: "
+                    "the controlled arm's predictions diverged from the open arm"
+                )
+            for arm_name, measured in (("open", open_arm), ("slo", slo_arm)):
+                result.rows.append(
+                    {
+                        "scenario": scenario,
+                        "arm": arm_name,
+                        "batch_size": overload_batch,
+                        "queue_bound": 0 if arm_name == "open" else slo_queue_depth,
+                        "offered": measured["offered"],
+                        "served": measured["served"],
+                        "shed": measured["shed"],
+                        "deferred": measured["deferred"],
+                        "shed_rate": round(measured["shed_rate"], 3),
+                        "p99_update_latency": round(measured["p99_update_latency"], 1),
+                        "mean_update_latency": round(measured["mean_update_latency"], 2),
+                        "p99_queue_latency": round(measured["p99_queue_latency"], 1),
+                        "peak_backlog": round(measured["peak_backlog_seconds"], 1),
+                    }
+                )
+            shed_rates[scenario] = round(slo_arm["shed_rate"], 4)
+            metrics_snapshot = slo_arm["metrics"]
+            continue
+        if scenario == "slo_sweep":
+            # Shed-rate vs p99-latency frontier: one replay of the same
+            # overload stream per queue-depth bound (0 = no admission).
+            sweep_batch = max(batch_sizes)
+            for depth_bound in slo_queue_depths:
+                measured = run_overload_replay(scenario, requests, sweep_batch, depth_bound)
+                result.rows.append(
+                    {
+                        "scenario": scenario,
+                        "batch_size": sweep_batch,
+                        "queue_bound": depth_bound,
+                        "served": measured["served"],
+                        "shed": measured["shed"],
+                        "deferred": measured["deferred"],
+                        "shed_rate": round(measured["shed_rate"], 3),
+                        "p99_update_latency": round(measured["p99_update_latency"], 1),
+                        "mean_update_latency": round(measured["mean_update_latency"], 2),
+                        "peak_backlog": round(measured["peak_backlog_seconds"], 1),
+                    }
+                )
+                metrics_snapshot = measured["metrics"]
+            continue
         if scenario == "window_sweep":
             # Latency vs wave-size trade-off: same bursty stream, same batch
             # size, widening coalescing windows.
             sweep_batch = max(batch_sizes)
             for window in coalescing_windows:
                 measured = run_replay(scenario, requests, sweep_batch, window)
+                metrics_snapshot = measured["metrics"] or metrics_snapshot
                 result.rows.append(
                     {
                         "scenario": scenario,
@@ -521,6 +761,7 @@ def run_batched_serving(
         drain_throughputs: dict[int, float] = {}
         for batch_size in batch_sizes:
             measured = run_replay(scenario, requests, batch_size, 0)
+            metrics_snapshot = measured["metrics"] or metrics_snapshot
             serve_throughputs[batch_size] = measured["serve_throughput"]
             drain_throughputs[batch_size] = measured["drain_throughput"]
             result.rows.append(
@@ -558,7 +799,14 @@ def run_batched_serving(
         ),
         "prediction_speedups": prediction_speedups,
         "update_drain_speedups": update_speedups,
+        "service_rate": service_rate if set(scenarios) & set(OVERLOAD_SCENARIOS) else None,
+        "slo_mode": slo_mode if set(scenarios) & set(OVERLOAD_SCENARIOS) else None,
+        "shed_rates": shed_rates,
     }
+    if metrics_snapshot:
+        # The last facade-built pipeline's full registry dump; the manifest
+        # runner writes it out as a dedicated <run>.metrics.json artifact.
+        result.metadata["metrics"] = metrics_snapshot
     return result
 
 

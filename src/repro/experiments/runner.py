@@ -82,6 +82,7 @@ _ENGINE_FIELD_SPECS = {
     "defer_updates": ParamSpec("defer_updates", "bool"),
     "history_window": ParamSpec("history_window", "int", default=28 * 86400, minimum=1),
     "store_name": ParamSpec("store_name", "str", default="engine"),
+    "telemetry": ParamSpec("telemetry", "bool", default=True),
 }
 assert set(_ENGINE_FIELD_SPECS) == _ENGINE_FIELDS, "engine-block schemas drifted from EngineConfig"
 
@@ -422,6 +423,11 @@ def run_manifest(
             "wall_time_seconds": round(wall_time, 3),
             "manifest_hash": fingerprint,
         }
+        if isinstance(result.metadata.get("metrics"), Mapping):
+            # Keep provenance compact: record *which* instruments the run's
+            # telemetry snapshot carries; the full dump goes to the
+            # <run>.metrics.json artifact (and the result JSON's metadata).
+            provenance["metrics_instruments"] = sorted(result.metadata["metrics"])
         result.metadata["provenance"] = provenance
         runs.append(ExperimentRun(planned=plan, result=result, provenance=provenance))
     if out_dir is not None:
@@ -451,8 +457,10 @@ def write_artifacts(
     The JSON artifact carries the full result (rows, metadata, paper
     reference) plus provenance; the CSV holds the rows under the key-union
     column set (consistent with ``ExperimentResult.format_table``, missing
-    cells empty).  A ``summary.json`` indexes every run by name, hash and
-    wall-time.
+    cells empty).  Runs whose metadata carries a telemetry snapshot
+    (``metadata["metrics"]``, an ``engine.metrics.snapshot()`` dump) also
+    get a dedicated ``<run_name>.metrics.json``.  A ``summary.json``
+    indexes every run by name, hash and wall-time.
     """
     directory = Path(out_dir)
     directory.mkdir(parents=True, exist_ok=True)
@@ -483,13 +491,21 @@ def write_artifacts(
             for row in result.rows:
                 writer.writerow({key: _json_safe(value) for key, value in row.items()})
         written.extend([json_path, csv_path])
+        artifacts = [json_path.name, csv_path.name]
+        if isinstance(result.metadata.get("metrics"), Mapping) and result.metadata["metrics"]:
+            metrics_path = directory / f"{run.planned.run_name}.metrics.json"
+            metrics_path.write_text(
+                json.dumps(_json_safe(result.metadata["metrics"]), indent=2, sort_keys=True) + "\n"
+            )
+            written.append(metrics_path)
+            artifacts.append(metrics_path.name)
         index.append(
             {
                 "run_name": run.planned.run_name,
                 "experiment_id": result.experiment_id,
                 "rows": len(result.rows),
                 "wall_time_seconds": run.provenance["wall_time_seconds"],
-                "artifacts": [json_path.name, csv_path.name],
+                "artifacts": artifacts,
             }
         )
     summary_path = directory / "summary.json"

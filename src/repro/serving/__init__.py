@@ -27,6 +27,20 @@ from .router import ConsistentHashRing, ShardedKeyValueStore
 # --- Stream processing: session joins, timer waves, barriers ----------
 from .stream import StreamEvent, StreamProcessor, TimerFiring, TimerGroup
 
+# --- Telemetry: the unified metrics plane -----------------------------
+from .telemetry import (
+    LATENCY_BUCKETS_SECONDS,
+    NULL_REGISTRY,
+    SIZE_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+# --- SLOs: capacity model, policy, admission control ------------------
+from .slo import ADMISSION_MODES, AdmissionController, ServerModel, SloPolicy
+
 # --- Cost model and state quantization --------------------------------
 from .cost import (
     CostParameters,
@@ -34,6 +48,7 @@ from .cost import (
     estimate_serving_costs,
     gbdt_prediction_flops,
     kv_traffic_cost,
+    registry_traffic_cost,
     rnn_prediction_flops,
 )
 from .quantization import dequantize_state, quantization_error, quantize_state
@@ -73,12 +88,26 @@ __all__ = [
     "StreamProcessor",
     "TimerFiring",
     "TimerGroup",
+    # telemetry
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_REGISTRY",
+    "LATENCY_BUCKETS_SECONDS",
+    "SIZE_BUCKETS",
+    # SLOs
+    "SloPolicy",
+    "ServerModel",
+    "AdmissionController",
+    "ADMISSION_MODES",
     # cost + quantization
     "CostParameters",
     "ServingCostReport",
     "estimate_serving_costs",
     "gbdt_prediction_flops",
     "kv_traffic_cost",
+    "registry_traffic_cost",
     "rnn_prediction_flops",
     "quantize_state",
     "dequantize_state",

@@ -54,7 +54,14 @@ from ..features.pipeline import TabularFeaturizer
 from ..features.sequence import SequenceBuilder
 from ..models.rnn import RNNPrecomputeNetwork
 from .quantization import dequantize_state, quantize_state
+from .slo import AdmissionController
 from .stream import StreamEvent, StreamProcessor, TimerFiring
+from .telemetry import (
+    LATENCY_BUCKETS_SECONDS,
+    NULL_REGISTRY,
+    SIZE_BUCKETS,
+    MetricsRegistry,
+)
 
 __all__ = [
     "ServingRequest",
@@ -114,16 +121,71 @@ class SessionStreamMixin:
     and ``extra_lag`` plus an ``apply_wave(list[SessionUpdate])`` method;
     :meth:`_init_session_delivery` wires the timer group (or per-timer
     fallback) and the ``update_delay_seconds`` meter — the simulated seconds
-    updates spent waiting for their wave to close, the latency cost a wider
-    ``coalescing_window`` pays for bigger waves.
+    (a float end-to-end, matching the :class:`~repro.serving.engine.Backend`
+    protocol) updates spent waiting for their wave to close, the latency
+    cost a wider ``coalescing_window`` pays for bigger waves.
+
+    With a registry attached the same quantities flow into the metrics
+    plane: ``serving.update_delay_seconds`` (histogram, per update; its sum
+    is the legacy meter exactly), ``serving.update_delay_seconds_total``
+    (counter mirror), ``stream.wave_size`` (histogram, one observation per
+    delivery) and ``serving.update_latency_seconds`` — the wave wait *plus*
+    the :class:`~repro.serving.slo.ServerModel` backlog at delivery, the
+    end-to-end latency an SLO policy targets.  Without a server model the
+    two latency histograms coincide.
     """
 
-    def _init_session_delivery(self, stream: StreamProcessor | None, coalesce_updates: bool) -> None:
+    def _init_session_delivery(
+        self,
+        stream: StreamProcessor | None,
+        coalesce_updates: bool,
+        *,
+        registry: MetricsRegistry | None = None,
+        server=None,
+    ) -> None:
         self.stream = stream
+        self.metrics = registry if registry is not None else NULL_REGISTRY
+        self.server = server
         self.coalesce_updates = bool(coalesce_updates) and stream is not None
         self._timer_group = stream.timer_group(self._on_wave) if self.coalesce_updates else None
         self._session_seq = itertools.count()
-        self.update_delay_seconds = 0
+        self.update_delay_seconds = 0.0
+        self._m_delay = self.metrics.histogram("serving.update_delay_seconds", LATENCY_BUCKETS_SECONDS)
+        self._m_update_latency = self.metrics.histogram(
+            "serving.update_latency_seconds", LATENCY_BUCKETS_SECONDS
+        )
+        self._m_delay_total = self.metrics.counter("serving.update_delay_seconds_total")
+        self._m_wave_size = self.metrics.histogram("stream.wave_size", SIZE_BUCKETS)
+
+    def _init_backend_counters(self) -> None:
+        """Register the counter mirrors of the backend's legacy attribute
+        meters; they sync lazily on registry reads (no hot-path cost).
+        Hosts call this after ``predictions_served``/``updates_applied``
+        exist."""
+        self._m_predictions = self.metrics.counter("backend.predictions_served")
+        self._m_updates = self.metrics.counter("backend.updates_applied")
+        self.metrics.register_sync(self._sync_backend_metrics)
+
+    def _sync_backend_metrics(self) -> None:
+        self._m_predictions.value = self.predictions_served
+        self._m_updates.value = self.updates_applied
+        self._m_delay_total.value = self.update_delay_seconds
+
+    def _meter_update_delays(self, delays: list[float]) -> None:
+        """Meter one delivery (a wave, or a single ungrouped timer).
+
+        The end-to-end latency histogram is only populated when a server
+        model is attached — without one it would duplicate the delay
+        histogram observation for observation, and this runs on the update
+        hot path (the admission controller falls back to the delay
+        histogram in that case, which carries the identical values).
+        """
+        self._m_delay.observe_many(delays)
+        if self.server is not None:
+            lag = self.server.backlog_seconds(self.stream.clock)
+            self._m_update_latency.observe_many([delay + lag for delay in delays])
+        self.update_delay_seconds += float(sum(delays))
+        self._m_wave_size.observe(len(delays))
 
     def _publish_session(self, user_id: int, context: dict[str, float], timestamp: int, accessed: bool) -> None:
         key = f"session:{user_id}:{timestamp}:{next(self._session_seq)}"
@@ -159,7 +221,7 @@ class SessionStreamMixin:
         # A coalescing window delays ungrouped timers too: the clock sits at
         # the window's close when this runs, so meter the wait exactly as
         # _on_wave does (0 under same-second delivery).
-        self.update_delay_seconds += max(self.stream.clock - fire_at, 0)
+        self._meter_update_delays([float(max(self.stream.clock - fire_at, 0))])
         self.apply_wave([self._session_update(user_id, timestamp, events)])
 
     def _on_wave(self, firings: list[TimerFiring]) -> None:
@@ -169,7 +231,7 @@ class SessionStreamMixin:
         ``clock - fire_at`` is exactly how long each update waited for the
         coalescing window to close.
         """
-        self.update_delay_seconds += sum(self.stream.clock - firing.fire_at for firing in firings)
+        self._meter_update_delays([float(self.stream.clock - firing.fire_at) for firing in firings])
         self.apply_wave([self._session_update(*firing.payload, firing.events) for firing in firings])
 
 
@@ -204,6 +266,8 @@ class BatchedHiddenStateBackend(SessionStreamMixin):
         quantize: bool = False,
         extra_lag: int = 60,
         coalesce_updates: bool = True,
+        registry: MetricsRegistry | None = None,
+        server=None,
     ) -> None:
         network.eval()
         self.network = network
@@ -212,9 +276,10 @@ class BatchedHiddenStateBackend(SessionStreamMixin):
         self.session_length = session_length
         self.quantize = quantize
         self.extra_lag = extra_lag
-        self._init_session_delivery(stream, coalesce_updates)
+        self._init_session_delivery(stream, coalesce_updates, registry=registry, server=server)
         self.predictions_served = 0
         self.updates_applied = 0
+        self._init_backend_counters()
 
     # ------------------------------------------------------------------
     # State records
@@ -382,6 +447,8 @@ class BatchedAggregationBackend(SessionStreamMixin):
         session_length: int | None = None,
         extra_lag: int = 60,
         coalesce_updates: bool = True,
+        registry: MetricsRegistry | None = None,
+        server=None,
     ) -> None:
         if stream is not None and session_length is None:
             raise ValueError("stream-delivered session updates need a session_length")
@@ -392,9 +459,10 @@ class BatchedAggregationBackend(SessionStreamMixin):
         self.history_window = history_window
         self.session_length = session_length
         self.extra_lag = extra_lag
-        self._init_session_delivery(stream, coalesce_updates)
+        self._init_session_delivery(stream, coalesce_updates, registry=registry, server=server)
         self.predictions_served = 0
         self.updates_applied = 0
+        self._init_backend_counters()
 
     # ------------------------------------------------------------------
     def _history_key(self, user_id: int) -> str:
@@ -523,24 +591,66 @@ class MicroBatchQueue:
     concatenates the returns of ``submit`` / ``advance_to`` / ``flush`` with
     a final ``drain_completed`` therefore sees each prediction once, with no
     bookkeeping about which flush completed what.
+
+    **Telemetry and overload.**  With a registry attached the queue meters
+    its depth (``queue.depth`` gauge), the scored batch-size distribution
+    (``queue.batch_size``), per-request time-in-system
+    (``queue.latency_seconds`` — simulated seconds from submission to the
+    batch's completion, which includes the
+    :class:`~repro.serving.slo.ServerModel` service time and backlog when
+    one is attached) and counter mirrors of the legacy attributes.  An
+    :class:`~repro.serving.slo.AdmissionController` guards ``submit``: shed
+    requests are never enqueued, deferred requests park in arrival order and
+    re-enter through :meth:`advance_to` once the policy clears (or all at
+    once via :meth:`drain_deferred` at end of replay).  Without a
+    controller, behaviour is unchanged down to the bit.
     """
 
-    def __init__(self, backend, *, max_batch_size: int = 32, stream: StreamProcessor | None = None) -> None:
+    def __init__(
+        self,
+        backend,
+        *,
+        max_batch_size: int = 32,
+        stream: StreamProcessor | None = None,
+        registry: MetricsRegistry | None = None,
+        server=None,
+        admission: AdmissionController | None = None,
+    ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
         self.backend = backend
         self.max_batch_size = max_batch_size
         self.stream = stream
+        self.metrics = registry if registry is not None else NULL_REGISTRY
+        self._metered = self.metrics.enabled
+        self.server = server
+        self.admission = admission
         self._barrier_handle: int | None = None
         if stream is not None:
             # Whoever advances the clock — this queue or the stream driven
             # directly — queued requests are scored before timers fire.
             self._barrier_handle = stream.register_barrier(self._barrier_flush)
         self._queue: list[ServingRequest] = []
+        self._deferred: list[ServingRequest] = []
         self._undelivered: list[ServingPrediction] = []
         self.requests_submitted = 0
         self.batches_flushed = 0
         self._requests_flushed = 0
+        self._peak_pending = 0
+        # Counter/gauge mirrors sync lazily from the legacy attributes (no
+        # hot-path cost); the distribution instruments have to stream.
+        self._m_submitted = self.metrics.counter("queue.requests_submitted")
+        self._m_batches = self.metrics.counter("queue.batches_flushed")
+        self._m_depth = self.metrics.gauge("queue.depth")
+        self._m_batch_size = self.metrics.histogram("queue.batch_size", SIZE_BUCKETS)
+        self._m_latency = self.metrics.histogram("queue.latency_seconds", LATENCY_BUCKETS_SECONDS)
+        self.metrics.register_sync(self._sync_metrics)
+
+    def _sync_metrics(self) -> None:
+        self._m_submitted.value = self.requests_submitted
+        self._m_batches.value = self.batches_flushed
+        self._m_depth.value = len(self._queue)
+        self._m_depth.max_value = self._peak_pending
 
     # ------------------------------------------------------------------
     # Scoring and the delivery cursor.
@@ -550,9 +660,24 @@ class MicroBatchQueue:
         if not self._queue:
             return
         batch, self._queue = self._queue, []
+        if self.server is not None or self._metered:
+            # The batch is scored "now": the latest of its request stamps
+            # and the stream clock.  With a server model attached,
+            # completion runs past that by the service time plus any
+            # standing backlog — the per-request latency an overloaded
+            # pipeline accumulates.
+            reference = float(max(request.timestamp for request in batch))
+            if self.stream is not None and self.stream.clock > reference:
+                reference = float(self.stream.clock)
+            completion = self.server.process(len(batch), reference) if self.server is not None else reference
+            if self._metered:
+                self._m_latency.observe_many(
+                    completion - request.timestamp for request in batch
+                )
         predictions = self.backend.predict_batch(batch)
         self.batches_flushed += 1
         self._requests_flushed += len(batch)
+        self._m_batch_size.observe(len(batch))
         self._undelivered.extend(predictions)
 
     def _barrier_flush(self) -> None:
@@ -578,6 +703,11 @@ class MicroBatchQueue:
         later ``observe_session`` stamped earlier will be rejected by the
         stream, exactly as if the caller had advanced the clock themselves.
         Replay in global time order (every harness in this repo does).
+
+        An attached :class:`~repro.serving.slo.AdmissionController` is
+        consulted *after* the due-timer barrier (the clock advances whether
+        or not the request gets in) and *before* enqueueing: a shed request
+        is dropped, a deferred one parks for re-admission.
         """
         delivered: list[ServingPrediction] = []
         if self.stream is not None:
@@ -585,11 +715,41 @@ class MicroBatchQueue:
             if due is not None and timestamp >= due:
                 delivered += self.flush()
                 self.stream.advance_to(timestamp)
-        self._queue.append(ServingRequest(user_id=user_id, context=context, timestamp=timestamp))
-        self.requests_submitted += 1
-        if len(self._queue) >= self.max_batch_size:
-            delivered += self.flush()
+        request = ServingRequest(user_id=user_id, context=context, timestamp=timestamp)
+        if self.admission is not None:
+            # Parked requests re-enter ahead of newly offered ones: if any
+            # remain parked after this, the depth they occupy makes the
+            # admission check below park the new request behind them, so
+            # deferred traffic drains strictly in arrival order.
+            delivered += self._readmit_deferred(timestamp)
+            admitted = self.admission.admit(timestamp, self)
+            if not admitted and self.pending:
+                # Pressure flush: when the depth violation is dominated by
+                # an unfilled micro-batch, score the partial batch (what a
+                # real engine's batch timeout does under load) and re-ask
+                # before giving anything up.
+                delivered += self.flush()
+                admitted = self.admission.readmit(timestamp, self)
+            if not admitted:
+                if self.admission.mode == "defer":
+                    self._deferred.append(request)
+                    self.admission.record_deferred()
+                else:
+                    self.admission.record_shed()
+                return delivered
+        delivered += self._enqueue(request)
         return delivered
+
+    def _enqueue(self, request: ServingRequest) -> list[ServingPrediction]:
+        """Append one admitted request; flush if the batch filled."""
+        self._queue.append(request)
+        self.requests_submitted += 1
+        depth = len(self._queue)
+        if depth > self._peak_pending:
+            self._peak_pending = depth
+        if depth >= self.max_batch_size:
+            return self.flush()
+        return []
 
     def flush(self) -> list[ServingPrediction]:
         """Score the pending batch and deliver every undelivered result.
@@ -619,7 +779,25 @@ class MicroBatchQueue:
         that earlier ``submit`` calls queued and this flush completed go back
         to the cursor for ``drain_completed``.
         """
+        deferred_before = 0 if self.admission is None else self.admission.requests_deferred
+        shed_before = 0 if self.admission is None else (
+            self.admission.requests_shed + self.admission.requests_deferred
+        )
         delivered = self.submit(user_id, context, timestamp)
+        if self.admission is not None and (
+            self.admission.requests_shed + self.admission.requests_deferred > shed_before
+        ):
+            # The single-request convenience has a caller waiting on *this*
+            # result; silently returning someone else's would corrupt the
+            # cursor, so a rejected predict is a hard error.  A defer-mode
+            # rejection parked the request — retract it, or it would later
+            # re-admit and deliver an orphan prediction nobody submitted
+            # (the deferral meter keeps the attempt; counters are monotone).
+            if self.admission.requests_deferred > deferred_before:
+                self._deferred.pop()
+            if delivered:
+                self._undelivered[:0] = delivered
+            raise RuntimeError("predict() request rejected by admission control")
         if self.pending:
             delivered += self.flush()
         # This request is the newest, so its result is the last delivered
@@ -650,14 +828,38 @@ class MicroBatchQueue:
         """Advance the stream clock, flushing first if a timer would fire.
 
         Delivers the predictions completed by the flush (empty when no timer
-        was due or no stream is attached).
+        was due or no stream is attached).  Deferred requests re-enter here
+        first, in arrival order, for as long as the admission policy stays
+        clear — a clock advance is the signal that pressure may have
+        drained.
         """
         delivered: list[ServingPrediction] = []
+        if self.admission is not None:
+            delivered += self._readmit_deferred(timestamp)
         if self.stream is not None:
             due = self.stream.next_timer_at
             if due is not None and due <= timestamp:
-                delivered = self.flush()
+                delivered += self.flush()
             self.stream.advance_to(timestamp)
+        return delivered
+
+    def _readmit_deferred(self, timestamp: int) -> list[ServingPrediction]:
+        """Re-enter parked requests, oldest first, while the policy holds."""
+        delivered: list[ServingPrediction] = []
+        while self._deferred and self.admission.readmit(timestamp, self):
+            delivered += self._enqueue(self._deferred.pop(0))
+        return delivered
+
+    def drain_deferred(self) -> list[ServingPrediction]:
+        """Force-admit every parked request and flush — the end-of-replay
+        drain, when the caller is explicitly emptying the pipeline and no
+        further pressure is coming.  No-op without deferred requests."""
+        if not self._deferred:
+            return []
+        delivered: list[ServingPrediction] = []
+        while self._deferred:
+            delivered += self._enqueue(self._deferred.pop(0))
+        delivered += self.flush()
         return delivered
 
     def detach(self) -> None:
@@ -680,6 +882,11 @@ class MicroBatchQueue:
     def undelivered(self) -> int:
         """Completed predictions awaiting ``drain_completed``."""
         return len(self._undelivered)
+
+    @property
+    def deferred(self) -> int:
+        """Requests parked by a defer-mode admission controller."""
+        return len(self._deferred)
 
     @property
     def mean_batch_size(self) -> float:

@@ -45,7 +45,9 @@ from .batching import (
 from .kvstore import KeyValueStore
 from .online import replay_sessions_through_service
 from .router import ShardedKeyValueStore
+from .slo import AdmissionController, ServerModel, SloPolicy
 from .stream import StreamProcessor
+from .telemetry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["Backend", "EngineConfig", "ServingEngine", "BACKEND_KINDS", "store_topology"]
 
@@ -75,7 +77,10 @@ class Backend(Protocol):
 
     predictions_served: int
     updates_applied: int
-    update_delay_seconds: int
+    #: Simulated seconds session-end updates spent waiting for their wave —
+    #: a float: the wave path accumulates per-update waits as a running sum
+    #: and fractional-second capacity models feed fractional delays.
+    update_delay_seconds: float
 
     def predict_batch(self, requests: list[ServingRequest]) -> list[ServingPrediction]:
         """Score a micro-batch of queued requests."""
@@ -108,6 +113,12 @@ class EngineConfig:
     routes them through the stream so they land at window close in timer
     waves, exactly like the hidden path (which is always deferred — that is
     the paper's dataflow, so ``defer_updates=False`` is rejected there).
+
+    ``telemetry`` (default on) gives the built pipeline a
+    :class:`~repro.serving.telemetry.MetricsRegistry` shared by the store,
+    stream delivery, backend and queue, surfaced as ``engine.metrics``.
+    Telemetry is pure observation — an instrumented pipeline is
+    bit-identical to a disabled one in every serving observable.
     """
 
     backend: str = "hidden_state"
@@ -121,6 +132,7 @@ class EngineConfig:
     defer_updates: bool | None = None
     history_window: int = 28 * 86400
     store_name: str = "engine"
+    telemetry: bool = True
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_KINDS:
@@ -194,12 +206,18 @@ class ServingEngine:
         queue: MicroBatchQueue,
         store,
         stream: StreamProcessor | None,
+        metrics: MetricsRegistry | None = None,
+        server: ServerModel | None = None,
+        admission: AdmissionController | None = None,
     ) -> None:
         self.config = config
         self.backend = backend
         self.queue = queue
         self.store = store
         self.stream = stream
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.server = server
+        self.admission = admission
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -217,6 +235,9 @@ class ServingEngine:
         schema=None,
         store=None,
         stream: StreamProcessor | None = None,
+        server: ServerModel | None = None,
+        slo_policy: SloPolicy | None = None,
+        admission_mode: str = "shed",
     ) -> "ServingEngine":
         """Assemble store → stream → backend → queue from the config.
 
@@ -226,12 +247,21 @@ class ServingEngine:
         (``n_shards``/``store_name``, ``coalescing_window``) unless the
         caller passes existing ones — e.g. to share a long-lived stream
         across engine generations or to compare stores across replays.
+
+        ``server`` attaches a :class:`~repro.serving.slo.ServerModel`
+        (simulated capacity; meters backlog-inclusive latencies), and
+        ``slo_policy`` an :class:`~repro.serving.slo.AdmissionController`
+        over it in ``admission_mode`` (``"shed"`` or ``"defer"``) — the
+        overload machinery.  Both are observation/admission only: with no
+        policy bounds the built pipeline is bit-identical to an unguarded
+        one.
         """
+        registry: MetricsRegistry | None = MetricsRegistry() if config.telemetry else None
         if store is None:
             if config.n_shards is not None:
-                store = ShardedKeyValueStore(config.n_shards, name=config.store_name)
+                store = ShardedKeyValueStore(config.n_shards, name=config.store_name, registry=registry)
             else:
-                store = KeyValueStore(config.store_name)
+                store = KeyValueStore(config.store_name, registry=registry)
         elif store_topology(store) != (config.n_shards, config.store_name):
             # Same principle as the stream check below: a manifest rebuilt
             # from engine.config.to_dict() must reconstruct this pipeline,
@@ -263,6 +293,8 @@ class ServingEngine:
                 quantize=config.quantize,
                 extra_lag=config.extra_lag,
                 coalesce_updates=config.coalesce_updates,
+                registry=registry,
+                server=server,
             )
         else:
             if featurizer is None or estimator is None or schema is None:
@@ -282,9 +314,30 @@ class ServingEngine:
                 session_length=config.session_length,
                 extra_lag=config.extra_lag,
                 coalesce_updates=config.coalesce_updates,
+                registry=registry,
+                server=server,
             )
-        queue = MicroBatchQueue(backend, max_batch_size=config.max_batch_size, stream=stream)
-        return cls(config, backend=backend, queue=queue, store=store, stream=stream)
+        admission = None
+        if slo_policy is not None:
+            admission = AdmissionController(slo_policy, registry=registry, mode=admission_mode)
+        queue = MicroBatchQueue(
+            backend,
+            max_batch_size=config.max_batch_size,
+            stream=stream,
+            registry=registry,
+            server=server,
+            admission=admission,
+        )
+        return cls(
+            config,
+            backend=backend,
+            queue=queue,
+            store=store,
+            stream=stream,
+            metrics=registry,
+            server=server,
+            admission=admission,
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -354,6 +407,11 @@ class ServingEngine:
         """Deliver what no caller collected yet (allowed even after close)."""
         return self.queue.drain_completed()
 
+    def drain_deferred(self) -> list[ServingPrediction]:
+        """Force-admit requests a defer-mode admission controller parked."""
+        self._ensure_open("drain_deferred")
+        return self.queue.drain_deferred()
+
     def replay(self, events) -> list[ServingPrediction]:
         """Replay ``(timestamp, user_id, context, accessed)`` tuples end to end.
 
@@ -377,7 +435,7 @@ class ServingEngine:
         return self.backend.updates_applied
 
     @property
-    def update_delay_seconds(self) -> int:
+    def update_delay_seconds(self) -> float:
         """Simulated seconds session-end updates waited for their wave to close."""
         return self.backend.update_delay_seconds
 

@@ -16,7 +16,13 @@ from typing import Any, Iterator
 
 import numpy as np
 
+from .telemetry import NULL_REGISTRY, MetricsRegistry
+
 __all__ = ["KVStats", "KeyValueStore"]
+
+#: The KVStats counter fields, in snapshot order — shared by the legacy
+#: meters and their registry mirrors so the two can never disagree on shape.
+KV_COUNTER_FIELDS = ("gets", "puts", "deletes", "hits", "misses", "bytes_read", "bytes_written")
 
 
 @dataclass
@@ -65,13 +71,35 @@ def _estimate_size(value: Any) -> int:
 
 
 class KeyValueStore:
-    """Dictionary-backed KV store that meters reads, writes and storage."""
+    """Dictionary-backed KV store that meters reads, writes and storage.
 
-    def __init__(self, name: str = "kv") -> None:
+    With a :class:`~repro.serving.telemetry.MetricsRegistry` attached, the
+    legacy ``KVStats`` meters surface as counters named
+    ``kv.<name>.<field>`` through a registered *sync hook*: the hot path
+    (get/put/delete under every prediction and update) pays nothing extra,
+    and the registry copies the current ``KVStats`` values into the
+    counters whenever it is read — an exact view by construction,
+    property-tested in ``tests/test_telemetry.py``.  Store names must be
+    unique within a registry or their counters would collide.
+    """
+
+    def __init__(self, name: str = "kv", *, registry: MetricsRegistry | None = None) -> None:
         self.name = name
         self._data: dict[str, Any] = {}
         self._sizes: dict[str, int] = {}
         self.stats = KVStats()
+        self.metrics = registry if registry is not None else NULL_REGISTRY
+        self._counters = {
+            field_name: self.metrics.counter(f"kv.{name}.{field_name}")
+            for field_name in KV_COUNTER_FIELDS
+        }
+        self.metrics.register_sync(self._sync_metrics)
+
+    def _sync_metrics(self) -> None:
+        """Copy the live ``KVStats`` into the registry counters (sync hook)."""
+        stats = self.stats
+        for field_name, counter in self._counters.items():
+            counter.value = getattr(stats, field_name)
 
     # ------------------------------------------------------------------
     def get(self, key: str, default: Any = None) -> Any:
@@ -124,4 +152,15 @@ class KeyValueStore:
         return int(sum(size for key, size in self._sizes.items() if key.startswith(prefix)))
 
     def reset_stats(self) -> None:
+        """Zero the traffic meters.  The registry view follows automatically
+        — it syncs from the (fresh) ``KVStats`` on its next read."""
         self.stats = KVStats()
+
+    def registry_stats(self) -> KVStats | None:
+        """The registry's view of this store's traffic as a ``KVStats``
+        (``None`` without a real registry).  Reads through the registry's
+        sync machinery, so it equals :attr:`stats` bit for bit."""
+        if not self.metrics.enabled:
+            return None
+        self.metrics._sync()
+        return KVStats(**{name: counter.value for name, counter in self._counters.items()})

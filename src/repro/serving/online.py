@@ -60,12 +60,18 @@ def replay_sessions_through_service(service, events):
 
     Works for both backend kinds: ``advance_to``/``stream`` are used only
     when the pipeline has them (an immediate-write aggregation engine has
-    no stream clock).
+    no stream clock).  Admission control composes: requests an
+    :class:`~repro.serving.slo.AdmissionController` sheds are excluded from
+    the expected delivery count (their sessions are still observed — load
+    shedding protects the scoring path, not ground truth), and requests it
+    parked are force-drained at the end.
     Returns the list of :class:`~repro.serving.batching.ServingPrediction`
-    aligned with ``events``.
+    aligned with the admitted ``events``.
     """
     delivered = []
     advance = getattr(service, "advance_to", None)
+    admission = getattr(service, "admission", None)
+    shed_before = admission.requests_shed if admission is not None else 0
     for timestamp, user_id, context, accessed in events:
         if advance is not None:
             delivered += advance(timestamp)
@@ -75,10 +81,17 @@ def replay_sessions_through_service(service, events):
     stream = getattr(service, "stream", None)
     if stream is not None:
         stream.flush()
+    drain_deferred = getattr(service, "drain_deferred", None)
+    if drain_deferred is not None:
+        delivered += drain_deferred()
     delivered += service.drain_completed()
-    if len(delivered) != len(events):
+    expected = len(events)
+    if admission is not None:
+        expected -= admission.requests_shed - shed_before
+    if len(delivered) != expected:
         raise RuntimeError(
-            f"serving replay delivered {len(delivered)} predictions for {len(events)} sessions"
+            f"serving replay delivered {len(delivered)} predictions for {expected} expected "
+            f"({len(events)} sessions)"
         )
     return delivered
 

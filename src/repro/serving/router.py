@@ -19,7 +19,8 @@ import hashlib
 from typing import Any, Iterator
 
 from .cost import CostParameters, kv_traffic_cost
-from .kvstore import KeyValueStore, KVStats
+from .kvstore import KV_COUNTER_FIELDS, KeyValueStore, KVStats
+from .telemetry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["ConsistentHashRing", "ShardedKeyValueStore"]
 
@@ -105,11 +106,21 @@ class ShardedKeyValueStore:
     given workload equal what the unsharded store would report.
     """
 
-    def __init__(self, n_shards: int = 4, name: str = "kv", *, replicas: int = 64) -> None:
+    def __init__(
+        self,
+        n_shards: int = 4,
+        name: str = "kv",
+        *,
+        replicas: int = 64,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
         self.name = name
-        self.shards = [KeyValueStore(f"{name}/shard{index}") for index in range(n_shards)]
+        self.metrics = registry if registry is not None else NULL_REGISTRY
+        self.shards = [
+            KeyValueStore(f"{name}/shard{index}", registry=registry) for index in range(n_shards)
+        ]
         self._ring = ConsistentHashRing(
             [f"{name}/shard{index}" for index in range(n_shards)], replicas=replicas
         )
@@ -179,6 +190,21 @@ class ShardedKeyValueStore:
             total.misses += shard.stats.misses
             total.bytes_read += shard.stats.bytes_read
             total.bytes_written += shard.stats.bytes_written
+        return total
+
+    def registry_stats(self) -> KVStats | None:
+        """Pool rollup of the shards' registry mirrors (``None`` without a
+        registry).  Each shard meters into ``kv.<name>/shard<i>.<field>``
+        counters; summing them reconstructs exactly what :attr:`stats` sums
+        from the legacy per-shard ``KVStats`` — the two rollups are pinned
+        bit-equal by ``tests/test_telemetry.py``."""
+        per_shard = [shard.registry_stats() for shard in self.shards]
+        if any(stats is None for stats in per_shard):
+            return None
+        total = KVStats()
+        for stats in per_shard:
+            for field_name in KV_COUNTER_FIELDS:
+                setattr(total, field_name, getattr(total, field_name) + getattr(stats, field_name))
         return total
 
     @property

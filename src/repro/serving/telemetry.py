@@ -1,0 +1,411 @@
+"""Unified metrics plane for the serving stack.
+
+Measurement used to be scattered ad-hoc state — ``update_delay_seconds``
+hand-metered on each backend, per-shard ``KVStats`` rolled up in the router,
+cost units in :mod:`repro.serving.cost`.  This module is the one place all
+of it reports to: a :class:`MetricsRegistry` of typed instruments that every
+serving component (store, router, stream delivery, queue, backends, engine)
+writes into, so a single ``engine.metrics.snapshot()`` describes a whole
+pipeline's behaviour as one JSON-serializable dict.
+
+Three instrument kinds:
+
+* :class:`Counter` — monotone total (requests served, bytes read, simulated
+  seconds of update delay).  Float-valued so latency totals sum exactly.
+* :class:`Gauge` — last-set level (queue depth, SLO violation flag).
+* :class:`Histogram` — streaming distribution over **fixed buckets**.
+  Everything in this repo runs on the simulated clock, so the recorded
+  values are deterministic; fixed bucket bounds make the derived quantiles
+  (p50/p95/p99) deterministic too — the same workload produces the same
+  snapshot bit for bit, which is what lets tests pin SLO behaviour exactly.
+
+Telemetry is pure observation: no instrument ever feeds back into scoring,
+routing or update application, so an instrumented pipeline is bit-identical
+to an uninstrumented one in every serving observable (pinned by
+``tests/test_telemetry.py``).  Components accept ``registry=None`` and fall
+back to :data:`NULL_REGISTRY`, whose instruments are shared no-ops — the
+hot-path overhead of disabled telemetry is one attribute call per metered
+event (bounded by ``benchmarks/test_bench_telemetry.py``).
+
+The legacy meters (``KeyValueStore.stats``, backend attributes like
+``predictions_served`` and ``update_delay_seconds``) are kept as *exact
+views*: the registry instruments are incremented alongside them with the
+same amounts, and ``tests/test_telemetry.py`` property-tests the rollups
+bit-exact against the legacy counters after randomized workloads.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Any, Iterator
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "LATENCY_BUCKETS_SECONDS",
+    "SIZE_BUCKETS",
+]
+
+#: Default bucket upper bounds for simulated-seconds latency histograms
+#: (update delay, time-in-queue, end-to-end update latency).  Spans the
+#: same-second fast path up to multi-hour overload backlogs; values past the
+#: last bound land in the overflow bucket, whose quantile reports the
+#: observed maximum.
+LATENCY_BUCKETS_SECONDS: tuple[float, ...] = (
+    0.0, 1.0, 2.0, 5.0, 10.0, 15.0, 30.0, 60.0, 120.0, 240.0, 480.0, 900.0, 1800.0, 3600.0, 7200.0,
+)
+
+#: Default bucket upper bounds for count-shaped histograms (batch sizes,
+#: wave sizes, queue depths).
+SIZE_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+
+
+class Counter:
+    """Monotone total.  ``inc`` rejects negative amounts — a counter that can
+    go backwards is a gauge, and the rollup equalities the property suite
+    pins (registry == legacy meter) rely on monotonicity."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | int = 0
+
+    def inc(self, amount: float | int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r}: negative increment {amount!r}")
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter.  Only the component that owns the paired legacy
+        meter may call this (e.g. ``KeyValueStore.reset_stats``), so the
+        registry view and the legacy view reset together and stay exact."""
+        self.value = 0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """Last-set level plus the high-water mark since creation."""
+
+    __slots__ = ("name", "value", "max_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float | int = 0
+        self.max_value: float | int = 0
+
+    def set(self, value: float | int) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"type": "gauge", "value": self.value, "max": self.max_value}
+
+
+class Histogram:
+    """Streaming distribution over fixed, inclusive bucket upper bounds.
+
+    ``observe`` finds the first bucket whose bound is ``>= value`` (one
+    bisect over a short tuple); values past the last bound count in the
+    overflow bucket.  ``quantile(q)`` reports the upper bound of the bucket
+    containing the ``ceil(q * count)``-th observation — a deterministic,
+    JSON-friendly estimator: for the overflow bucket it reports the observed
+    maximum (exact, since the max is tracked), and for an empty histogram
+    ``0.0``.  Bucket bounds are part of the snapshot so downstream tooling
+    can re-derive any quantile.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "count", "total", "min_value", "max_value")
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS_SECONDS) -> None:
+        if not buckets:
+            raise ValueError(f"histogram {name!r}: needs at least one bucket")
+        bounds = tuple(float(bound) for bound in buckets)
+        if list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"histogram {name!r}: bucket bounds must be strictly increasing")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min_value = float("inf")
+        self.max_value = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
+        if index == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def observe_many(self, values) -> None:
+        """Observe a whole batch in one call — the hot-path entry point.
+
+        Identical result to observing one at a time; amortises the method
+        dispatch and attribute traffic over the batch, which matters on the
+        per-request serving paths (bounded by
+        ``benchmarks/test_bench_telemetry.py``).  Values must be numbers;
+        unlike :meth:`observe` they are used as-is (no ``float()`` coercion
+        — the hot paths already hand in floats).
+        """
+        bounds = self.bounds
+        counts = self.counts
+        n_buckets = len(bounds)
+        search = bisect.bisect_left
+        total = 0.0
+        overflow = 0
+        batch = 0
+        minimum = self.min_value
+        maximum = self.max_value
+        for value in values:
+            index = search(bounds, value)
+            if index == n_buckets:
+                overflow += 1
+            else:
+                counts[index] += 1
+            total += value
+            batch += 1
+            if value < minimum:
+                minimum = value
+            if value > maximum:
+                maximum = value
+        self.count += batch
+        self.total += total
+        self.overflow += overflow
+        self.min_value = minimum
+        self.max_value = maximum
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Deterministic bucket-bound quantile estimate; 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = min(self.count, max(1, math.ceil(q * self.count)))
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                return bound
+        return float(self.max_value)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min_value if self.count else 0.0,
+            "max": self.max_value if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": [[bound, count] for bound, count in zip(self.bounds, self.counts)],
+            "overflow": self.overflow,
+        }
+
+
+class MetricsRegistry:
+    """Named, typed instruments behind get-or-create accessors.
+
+    Instrument names are dotted paths (``kv.rnn/shard0.gets``,
+    ``queue.batch_size``, ``serving.update_delay_seconds``); re-requesting a
+    name returns the existing instrument, and requesting it as a different
+    kind (or a histogram with different buckets) is a hard error — two
+    components silently writing different meanings into one name is exactly
+    the ad-hoc drift this registry exists to end.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._sync_hooks: list = []
+
+    def register_sync(self, hook) -> None:
+        """Register a zero-argument hook run before any read accessor.
+
+        This is how components with existing legacy meters (``KVStats``,
+        the queue and backend attribute counters) expose them as registry
+        instruments *without paying per-operation mirror increments on the
+        hot path*: the legacy meter stays the single source of truth, and
+        the hook copies its current values into the registered instruments
+        whenever the registry is read (:meth:`snapshot`, :meth:`get`,
+        :meth:`sum_counters`).  The view is exact by construction — it is
+        the same meter.  Streaming instruments (histograms) cannot be
+        derived lazily and keep observing inline.
+        """
+        self._sync_hooks.append(hook)
+
+    def _sync(self) -> None:
+        for hook in self._sync_hooks:
+            hook()
+
+    def _get_or_create(self, name: str, kind: type, factory) -> Any:
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[name] = instrument
+            return instrument
+        if not isinstance(instrument, kind):
+            raise ValueError(
+                f"instrument {name!r} is a {type(instrument).__name__.lower()}, "
+                f"not a {kind.__name__.lower()}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name))
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS_SECONDS) -> Histogram:
+        histogram = self._get_or_create(name, Histogram, lambda: Histogram(name, buckets))
+        if histogram.bounds != tuple(float(bound) for bound in buckets):
+            raise ValueError(
+                f"histogram {name!r} already exists with buckets {histogram.bounds}, "
+                f"requested {tuple(buckets)}"
+            )
+        return histogram
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Counter | Gauge | Histogram | None:
+        """The instrument registered under ``name``, or ``None``."""
+        self._sync()
+        return self._instruments.get(name)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._instruments))
+
+    def snapshot(self, prefix: str = "") -> dict[str, dict[str, Any]]:
+        """JSON-serializable dump of every instrument (optionally filtered
+        by name prefix), names sorted so the dump is stable."""
+        self._sync()
+        return {
+            name: self._instruments[name].snapshot()
+            for name in sorted(self._instruments)
+            if name.startswith(prefix)
+        }
+
+    def sum_counters(self, prefix: str, suffix: str) -> float | int:
+        """Sum every counter named ``<prefix>*<.suffix>`` — the rollup
+        primitive behind per-shard → pool aggregation."""
+        self._sync()
+        total: float | int = 0
+        for name, instrument in self._instruments.items():
+            if name.startswith(prefix) and name.endswith(f".{suffix}") and isinstance(instrument, Counter):
+                total += instrument.value
+        return total
+
+
+class _NullInstrument:
+    """Shared do-nothing stand-in for every instrument kind."""
+
+    __slots__ = ()
+    name = "null"
+    value = 0
+    max_value = 0
+    count = 0
+    total = 0.0
+    overflow = 0
+    bounds: tuple[float, ...] = ()
+    counts: list[int] = []
+    min_value = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float | int = 1) -> None:
+        pass
+
+    def set(self, value: float | int) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def observe_many(self, values) -> None:
+        pass
+
+    def reset(self) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {}
+
+
+class _NullRegistry:
+    """Disabled telemetry: same surface as :class:`MetricsRegistry`, all
+    instruments are one shared no-op.  ``snapshot()`` is empty, truthfully —
+    nothing was recorded."""
+
+    enabled = False
+    _instrument = _NullInstrument()
+
+    def register_sync(self, hook) -> None:
+        pass
+
+    def counter(self, name: str) -> _NullInstrument:
+        return self._instrument
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return self._instrument
+
+    def histogram(self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS_SECONDS) -> _NullInstrument:
+        return self._instrument
+
+    def get(self, name: str) -> None:
+        return None
+
+    def names(self) -> list[str]:
+        return []
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(())
+
+    def snapshot(self, prefix: str = "") -> dict[str, dict[str, Any]]:
+        return {}
+
+    def sum_counters(self, prefix: str, suffix: str) -> int:
+        return 0
+
+
+#: The shared disabled registry.  Components use it whenever the caller
+#: passes ``registry=None``, so instrumented code never branches.
+NULL_REGISTRY = _NullRegistry()

@@ -214,6 +214,28 @@ class TestWaveEquivalence:
         )
         assert immediate.backend.update_delay_seconds == 0
 
+    def test_update_delay_meter_is_float_end_to_end(self, serving_parts):
+        """The Backend protocol declares ``update_delay_seconds: float`` and
+        both delivery paths must honour it — the meter starts at ``0.0``,
+        stays a float through per-timer and wave accumulation, and surfaces
+        as a float from the engine facade (it used to start life as the int
+        ``0`` while the wave path summed floats into it)."""
+        rng = np.random.default_rng(4500)
+        events = random_session_events(rng)
+        for coalesce in (False, True):
+            _, _, service = replay(
+                serving_parts, events, coalesce=coalesce, store=KeyValueStore(), batch_size=4, window=45
+            )
+            assert isinstance(service.backend.update_delay_seconds, float)
+            assert isinstance(service.serving_engine.update_delay_seconds, float)
+            assert service.backend.update_delay_seconds > 0
+        # Untouched meters are float zero, not int zero.
+        from repro.serving import BatchedHiddenStateBackend as Backend
+
+        _, builder, network = serving_parts
+        fresh = Backend(network, builder, KeyValueStore(), StreamProcessor(), 600)
+        assert isinstance(fresh.update_delay_seconds, float)
+
     @pytest.mark.parametrize("batch_size", [1, 16])
     def test_wave_updates_bit_identical_to_per_timer_updates(self, serving_parts, batch_size):
         for trial in range(8):

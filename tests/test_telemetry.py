@@ -1,0 +1,310 @@
+"""Telemetry subsystem tests: instruments, rollups, and bit-exact views.
+
+Two contracts anchor this suite:
+
+* **Exact view** — the registry instruments are incremented alongside the
+  legacy meters with the same amounts, so after *any* workload the rollups
+  are bit-equal: ``ShardedKeyValueStore.stats`` vs the summed ``kv.*``
+  counters (and their ``kv_traffic_cost`` / ``registry_traffic_cost``
+  images), backend ``update_delay_seconds`` vs the
+  ``serving.update_delay_seconds`` histogram sum and counter mirror,
+  backend/queue attributes vs their counter mirrors.
+* **Pure observation** — telemetry never feeds back: a facade-built
+  pipeline with ``telemetry=True`` is bit-identical to ``telemetry=False``
+  in every serving observable (probabilities, KV traffic, stored state).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.data import ContextField, ContextSchema
+from repro.features.sequence import SequenceBuilder
+from repro.models.rnn import RNNNetworkConfig, RNNPrecomputeNetwork
+from repro.serving import (
+    Counter,
+    EngineConfig,
+    Gauge,
+    Histogram,
+    KeyValueStore,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    ServingEngine,
+    ShardedKeyValueStore,
+    kv_traffic_cost,
+    registry_traffic_cost,
+)
+
+N_TRIALS = 40
+
+
+# ----------------------------------------------------------------------
+# Instruments
+# ----------------------------------------------------------------------
+class TestInstruments:
+    def test_counter_is_monotone(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_tracks_high_water_mark(self):
+        gauge = Gauge("g")
+        gauge.set(4)
+        gauge.set(9)
+        gauge.set(2)
+        assert gauge.value == 2 and gauge.max_value == 9
+
+    def test_histogram_quantiles_are_bucket_bounds(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 0.7, 3.0, 50.0):
+            histogram.observe(value)
+        assert histogram.count == 4 and histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.99) == 100.0
+        # Overflow reports the exact observed maximum, not a bucket bound.
+        histogram.observe(123456.0)
+        assert histogram.quantile(1.0) == 123456.0
+        assert histogram.overflow == 1
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert Histogram("h").quantile(0.99) == 0.0
+
+    def test_histogram_rejects_bad_buckets_and_quantiles(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(3.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h").quantile(1.5)
+
+    def test_quantiles_deterministic_across_permutations(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(60.0, size=500)
+        reference = Histogram("a")
+        for value in values:
+            reference.observe(value)
+        shuffled = Histogram("b")
+        for value in rng.permutation(values):
+            shuffled.observe(value)
+        for q in (0.5, 0.9, 0.95, 0.99):
+            assert reference.quantile(q) == shuffled.quantile(q)
+
+    def test_registry_get_or_create_and_kind_conflicts(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("x")
+        assert registry.counter("x") is counter
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+        assert "x" in registry and registry.get("missing") is None
+        assert registry.names() == ["h", "x"]
+
+    def test_snapshot_is_json_serializable_and_stable(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(3)
+        registry.gauge("a.depth").set(7)
+        histogram = registry.histogram("c.latency", buckets=(1.0, 60.0))
+        histogram.observe(0.5)
+        histogram.observe(2.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == ["a.depth", "b.count", "c.latency"]
+        round_tripped = json.loads(json.dumps(snapshot))
+        assert round_tripped == snapshot
+        assert snapshot["c.latency"]["p50"] == 1.0 and snapshot["c.latency"]["count"] == 2
+        assert registry.snapshot(prefix="a.") == {"a.depth": snapshot["a.depth"]}
+
+    def test_null_registry_is_inert(self):
+        NULL_REGISTRY.counter("x").inc(5)
+        NULL_REGISTRY.gauge("y").set(3)
+        NULL_REGISTRY.histogram("z").observe(1.0)
+        assert NULL_REGISTRY.snapshot() == {}
+        assert not NULL_REGISTRY.enabled
+        assert NULL_REGISTRY.sum_counters("x", "y") == 0
+
+
+# ----------------------------------------------------------------------
+# Exact-view rollups: registry vs legacy meters (the property suite)
+# ----------------------------------------------------------------------
+def random_kv_workload(rng, n_ops=300):
+    ops = []
+    for _ in range(n_ops):
+        key = f"hidden:{int(rng.integers(0, 50))}"
+        kind = rng.choice(["put", "get", "delete"], p=[0.5, 0.4, 0.1])
+        ops.append((kind, key, int(rng.integers(1, 400))))
+    return ops
+
+
+def apply_kv_workload(store, ops):
+    for kind, key, size in ops:
+        if kind == "put":
+            store.put(key, {"size": size}, size_bytes=size)
+        elif kind == "get":
+            store.get(key)
+        else:
+            store.delete(key)
+
+
+class TestStoreRollupsBitExact:
+    def test_unsharded_registry_view_equals_stats_after_any_workload(self):
+        for trial in range(N_TRIALS):
+            rng = np.random.default_rng(100 + trial)
+            registry = MetricsRegistry()
+            store = KeyValueStore("kv", registry=registry)
+            apply_kv_workload(store, random_kv_workload(rng))
+            assert store.registry_stats().snapshot() == store.stats.snapshot()
+            assert registry_traffic_cost(registry, "kv") == kv_traffic_cost(store.stats)
+
+    def test_sharded_registry_rollup_equals_stats_after_any_workload(self):
+        for trial in range(N_TRIALS):
+            rng = np.random.default_rng(200 + trial)
+            registry = MetricsRegistry()
+            store = ShardedKeyValueStore(
+                n_shards=int(rng.integers(2, 8)), name="pool", registry=registry
+            )
+            apply_kv_workload(store, random_kv_workload(rng))
+            assert store.registry_stats().snapshot() == store.stats.snapshot()
+            # Per-shard decomposition: each shard's mirror is its own meter.
+            for shard in store.shards:
+                assert shard.registry_stats().snapshot() == shard.stats.snapshot()
+            assert registry_traffic_cost(registry, "pool") == kv_traffic_cost(store.stats)
+
+    def test_store_name_prefixes_do_not_absorb_each_other(self):
+        registry = MetricsRegistry()
+        store = KeyValueStore("rnn", registry=registry)
+        lookalike = KeyValueStore("rnn-b64", registry=registry)
+        store.put("a", 1, size_bytes=8)
+        store.get("a")
+        lookalike.get("b")
+        assert registry_traffic_cost(registry, "rnn") == kv_traffic_cost(store.stats)
+        assert registry_traffic_cost(registry, "rnn-b64") == kv_traffic_cost(lookalike.stats)
+
+    def test_reset_stats_resets_both_views_together(self):
+        registry = MetricsRegistry()
+        store = ShardedKeyValueStore(n_shards=3, name="kv", registry=registry)
+        apply_kv_workload(store, random_kv_workload(np.random.default_rng(7)))
+        store.reset_stats()
+        assert store.stats.snapshot() == store.registry_stats().snapshot()
+        assert store.stats.gets == 0 and store.registry_stats().gets == 0
+
+    def test_store_without_registry_has_no_registry_view(self):
+        store = KeyValueStore("kv")
+        store.put("a", 1)
+        assert store.registry_stats() is None
+        assert ShardedKeyValueStore(n_shards=2).registry_stats() is None
+
+
+# ----------------------------------------------------------------------
+# Engine-level: the whole pipeline's mirrors stay exact, and telemetry is
+# bit-invisible to serving.
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serving_parts():
+    schema = ContextSchema(
+        fields=(
+            ContextField("badge", "numeric"),
+            ContextField("surface", "categorical", cardinality=3),
+        )
+    )
+    builder = SequenceBuilder(schema)
+    config = RNNNetworkConfig(feature_dim=builder.feature_dim, hidden_size=12, mlp_hidden=8)
+    network = RNNPrecomputeNetwork(config, rng=np.random.default_rng(5)).eval()
+    return schema, builder, network
+
+
+def random_session_events(rng, n_events=150, n_users=10):
+    base = 1_600_000_000
+    raw = rng.integers(0, 4_000, size=n_events)
+    bursty = rng.random(n_events) < 0.6
+    raw[bursty] -= raw[bursty] % 300
+    return [
+        (
+            int(timestamp),
+            int(rng.integers(0, n_users)),
+            {"badge": float(rng.integers(0, 9)), "surface": float(rng.integers(0, 3))},
+            bool(rng.random() < 0.4),
+        )
+        for timestamp in np.sort(base + raw)
+    ]
+
+
+def build_engine(parts, *, telemetry, n_shards=None, batch_size=8, window=30):
+    _, builder, network = parts
+    return ServingEngine.build(
+        EngineConfig(
+            backend="hidden_state",
+            max_batch_size=batch_size,
+            coalescing_window=window,
+            n_shards=n_shards,
+            session_length=600,
+            store_name="rnn",
+            telemetry=telemetry,
+        ),
+        network=network,
+        builder=builder,
+    )
+
+
+class TestEngineTelemetry:
+    @pytest.mark.parametrize("n_shards", [None, 4])
+    def test_registry_mirrors_equal_legacy_meters_after_replay(self, serving_parts, n_shards):
+        for trial in range(6):
+            rng = np.random.default_rng(3000 + trial)
+            engine = build_engine(serving_parts, telemetry=True, n_shards=n_shards)
+            engine.replay(random_session_events(rng))
+            registry = engine.metrics
+            # Store rollup and its cost image.
+            assert engine.store.registry_stats().snapshot() == engine.store.stats.snapshot()
+            assert registry_traffic_cost(registry, "rnn") == kv_traffic_cost(engine.store.stats)
+            # Backend mirrors.
+            assert registry.counter("backend.predictions_served").value == engine.predictions_served
+            assert registry.counter("backend.updates_applied").value == engine.updates_applied
+            # The update-delay meter: histogram sum and counter mirror are
+            # the legacy float meter, exactly.
+            delay_histogram = registry.get("serving.update_delay_seconds")
+            assert delay_histogram.total == engine.update_delay_seconds
+            assert registry.counter("serving.update_delay_seconds_total").value == engine.update_delay_seconds
+            # Queue mirrors.
+            assert registry.counter("queue.requests_submitted").value == engine.queue.requests_submitted
+            assert registry.counter("queue.batches_flushed").value == engine.queue.batches_flushed
+            assert registry.get("queue.batch_size").count == engine.queue.batches_flushed
+            # Wave-size histogram counts every delivery's updates.
+            assert registry.get("stream.wave_size").total == engine.updates_applied
+            engine.close()
+
+    def test_telemetry_is_bit_invisible_to_serving(self, serving_parts):
+        for trial in range(4):
+            rng = np.random.default_rng(4000 + trial)
+            events = random_session_events(rng)
+            with_telemetry = build_engine(serving_parts, telemetry=True, n_shards=3)
+            without = build_engine(serving_parts, telemetry=False, n_shards=3)
+            instrumented = with_telemetry.replay(events)
+            plain = without.replay(events)
+            np.testing.assert_array_equal(
+                np.asarray([p.probability for p in instrumented]),
+                np.asarray([p.probability for p in plain]),
+            )
+            assert with_telemetry.store.stats.snapshot() == without.store.stats.snapshot()
+            assert with_telemetry.store.shard_snapshots() == without.store.shard_snapshots()
+            for key in without.store.keys():
+                np.testing.assert_array_equal(
+                    with_telemetry.store.get(key)["state"], without.store.get(key)["state"]
+                )
+            assert with_telemetry.update_delay_seconds == without.update_delay_seconds
+            assert without.metrics.snapshot() == {}
+            with_telemetry.close()
+            without.close()
+
+    def test_engine_metrics_snapshot_is_json_round_trippable(self, serving_parts):
+        engine = build_engine(serving_parts, telemetry=True, n_shards=2)
+        engine.replay(random_session_events(np.random.default_rng(5000)))
+        snapshot = engine.metrics.snapshot()
+        assert snapshot and json.loads(json.dumps(snapshot)) == snapshot
+        assert "queue.batch_size" in snapshot and "serving.update_delay_seconds" in snapshot
+        engine.close()
