@@ -68,6 +68,7 @@ ENGINE_OWNED_FIELDS = (
     "store_name",
     "defer_updates",
     "history_window",
+    "failure_schedule",
 )
 
 
@@ -242,6 +243,34 @@ def _ramped_arrivals(rng, start: int, n_requests: int, base_rate: float, peak_ra
     return start + np.floor(gaps.cumsum()).astype(np.int64)
 
 
+def _stored_equal(left: Any, right: Any) -> bool:
+    """Bit-exact equality for store records (nested dicts/lists/ndarrays).
+
+    ``==`` alone cannot compare records holding numpy arrays (ambiguous
+    truth value); the elastic scenarios use this to assert that a resized or
+    failed-and-recovered pool ends the run with exactly the static pool's
+    per-user state."""
+    if isinstance(left, np.ndarray) or isinstance(right, np.ndarray):
+        return (
+            isinstance(left, np.ndarray)
+            and isinstance(right, np.ndarray)
+            and left.dtype == right.dtype
+            and left.shape == right.shape
+            and bool(np.array_equal(left, right))
+        )
+    if isinstance(left, dict) and isinstance(right, dict):
+        return left.keys() == right.keys() and all(
+            _stored_equal(value, right[key]) for key, value in left.items()
+        )
+    if isinstance(left, (list, tuple)) and isinstance(right, (list, tuple)):
+        return (
+            type(left) is type(right)
+            and len(left) == len(right)
+            and all(map(_stored_equal, left, right))
+        )
+    return type(left) is type(right) and left == right
+
+
 #: Scenarios that deliberately span more than one session window: session-end
 #: timers fire *mid-serve* (through the queue's barrier), which is the point —
 #: update latency must be observable while the server is backlogged.  They are
@@ -265,7 +294,22 @@ OVERLOAD_SCENARIOS = ("overload", "slo_sweep")
             "scenarios",
             "str_list",
             default=("poisson", "bursty", "window_sweep"),
-            choices=("poisson", "bursty", "window_sweep", "overload", "slo_sweep"),
+            choices=(
+                "poisson",
+                "bursty",
+                "window_sweep",
+                "overload",
+                "slo_sweep",
+                "shard_failover",
+                "diurnal_rebalance",
+            ),
+        ),
+        ParamSpec(
+            "replication",
+            "int",
+            default=2,
+            minimum=1,
+            doc="replica-group size for the elastic scenarios' store pools",
         ),
         ParamSpec("burst_size", "int", default=64, minimum=1),
         ParamSpec("burst_spacing", "int", default=30, minimum=1),
@@ -313,6 +357,7 @@ def run_batched_serving(
     hidden_size: int = 24,
     seed: int = 0,
     scenarios: tuple[str, ...] = ("poisson", "bursty", "window_sweep"),
+    replication: int = 2,
     burst_size: int = 64,
     burst_spacing: int = 30,
     coalescing_windows: tuple[int, ...] | None = None,
@@ -370,6 +415,21 @@ def run_batched_serving(
     default derived from ``slo_queue_depth``), charting shed rate against
     p99 update latency.
 
+    The elastic scenarios exercise the replicated, resizable store pool
+    (``replication`` replicas per key; both assert their own correctness).
+    ``shard_failover`` replays a Poisson stream through two facade-built
+    pipelines — a static pool and one whose ``failure_schedule`` fails
+    shard 0 a third of the way through the arrivals and recovers it (eager
+    re-hydration from replicas) at two thirds.  ``diurnal_rebalance``
+    replays the bursty stream against a pool that gains a shard at one
+    third and sheds it at two thirds, migrating only the keys whose
+    ownership changed.  Both scenarios *assert* the elastic arm's
+    predictions and final per-user states are bit-identical to the static
+    baseline — replication, faults and live resharding are placement-only
+    — and report the migration/re-hydration meters
+    (``ring.keys_migrated``, ``ring.rehydration_bytes``, …) that are
+    allowed to differ.
+
     ``via_engine=True`` builds each pipeline through the
     :class:`~repro.serving.engine.ServingEngine` facade instead of
     hand-wiring backend + queue; the two constructions are pinned
@@ -391,9 +451,24 @@ def run_batched_serving(
         raise ValueError("at least one batch size is required")
     if not scenarios:
         raise ValueError("at least one scenario is required")
-    unknown = set(scenarios) - {"poisson", "bursty", "window_sweep", "overload", "slo_sweep"}
+    unknown = set(scenarios) - {
+        "poisson", "bursty", "window_sweep", "overload", "slo_sweep",
+        "shard_failover", "diurnal_rebalance",
+    }
     if unknown:
         raise ValueError(f"unknown scenarios: {sorted(unknown)}")
+    elastic = set(scenarios) & {"shard_failover", "diurnal_rebalance"}
+    if elastic:
+        if replication > n_shards:
+            raise ValueError(f"replication {replication} exceeds n_shards {n_shards}")
+        if "shard_failover" in scenarios and replication < 2:
+            raise ValueError(
+                "shard_failover needs replication >= 2: failing an unreplicated "
+                "shard would lose its keys"
+            )
+        if n_requests < 3:
+            raise ValueError("the elastic scenarios schedule membership/fault events at "
+                             "1/3 and 2/3 of the stream and need n_requests >= 3")
     if coalescing_windows is None:
         coalescing_windows = (0, burst_spacing, 4 * burst_spacing)
     if overload_peak_rate < overload_base_rate:
@@ -432,6 +507,13 @@ def run_batched_serving(
                 "set shard topology via the n_shards parameter, not engine_config; "
                 "an engine-block n_shards would shadow the parameter and falsify provenance"
             )
+        if "replication" in engine_overrides:
+            # Same rule as n_shards: the replication parameter owns the
+            # replica-group size.
+            raise ValueError(
+                "set the replica-group size via the replication parameter, not engine_config; "
+                "an engine-block replication would shadow the parameter and falsify provenance"
+            )
         engine_overrides.pop("backend", None)
         if engine_overrides.get("telemetry") is False and set(scenarios) & set(OVERLOAD_SCENARIOS):
             # Every latency statistic the overload rows report is read from
@@ -465,10 +547,13 @@ def run_batched_serving(
                 rng, 0, n_requests, overload_base_rate, overload_peak_rate
             )
             continue
-        if scenario == "poisson":
+        if scenario in ("poisson", "shard_failover"):
+            # shard_failover reuses the Poisson shape: faults are injected on
+            # the clock, so the arrival process itself stays the baseline one.
             offsets = _poisson_arrivals(rng, 0, n_requests, arrival_rate)
         else:
-            # "bursty" and "window_sweep" share the synchronized-burst shape.
+            # "bursty", "window_sweep" and "diurnal_rebalance" share the
+            # synchronized-burst (diurnal) shape.
             offsets = _bursty_arrivals(rng, 0, n_requests, burst_size, burst_spacing)
         span = int(offsets[-1] - offsets[0])
         if span >= dataset.session_length + extra_lag:
@@ -677,9 +762,130 @@ def run_batched_serving(
         engine.close()
         return measured
 
+    def run_elastic_replay(scenario: str, requests, batch_size: int) -> dict:
+        """A static baseline and an elastic arm over the identical stream.
+
+        ``shard_failover`` gives the elastic arm a ``failure_schedule`` that
+        fails shard 0 a third of the way through the arrivals and recovers it
+        (with eager re-hydration) at two thirds.  ``diurnal_rebalance`` grows
+        the pool by one shard at one third and removes it again at two
+        thirds, so the final membership matches the baseline's.  Either way
+        the elastic arm must reproduce the baseline bit for bit — same
+        prediction stream, same final per-user state — because replication,
+        faults and resharding are placement-only; what differs is the
+        metered migration/re-hydration traffic the rows report.
+        """
+        span = int(requests[-1][0] - requests[0][0])
+        schedule = None
+        if scenario == "shard_failover":
+            schedule = (
+                (requests[0][0] + span // 3, "fail", 0),
+                (requests[0][0] + (2 * span) // 3, "recover", 0),
+            )
+
+        def build(tag: str, failure_schedule) -> ServingEngine:
+            return ServingEngine.build(
+                EngineConfig(
+                    backend="hidden_state",
+                    max_batch_size=batch_size,
+                    n_shards=n_shards,
+                    session_length=dataset.session_length,
+                    coalesce_updates=batch_size > 1,
+                    store_name=f"rnn-{scenario}-b{batch_size}-{tag}",
+                    replication=replication,
+                    failure_schedule=failure_schedule,
+                    **engine_overrides,
+                ),
+                network=rnn.network,
+                builder=rnn.builder,
+            )
+
+        def drive(engine: ServingEngine, membership_steps=None) -> list:
+            backend = engine.backend
+            backend.apply_wave(
+                [
+                    SessionUpdate(
+                        user_id=user.user_id,
+                        timestamp=start - 3600,
+                        context=user.context_row(0),
+                        accessed=True,
+                    )
+                    for user in active_users
+                ]
+            )
+            engine.store.reset_stats()
+            warm_updates = backend.updates_applied
+            served = []
+            for index, (arrival, user_id, context, accessed) in enumerate(requests):
+                if membership_steps is not None and index in membership_steps:
+                    membership_steps[index]()
+                served += engine.advance_to(arrival)
+                served += engine.submit(user_id, context, arrival)
+                engine.observe_session(user_id, context, arrival, accessed)
+            served += engine.flush()
+            engine.stream.flush()
+            served += engine.drain_completed()
+            assert backend.updates_applied - warm_updates == n_requests
+            return served
+
+        baseline = build("static", None)
+        baseline_served = drive(baseline)
+        if scenario == "shard_failover":
+            elastic = build("failover", schedule)
+            elastic_served = drive(elastic)
+        else:
+            elastic = build("elastic", None)
+            elastic_store = elastic.store
+            added: list[str] = []
+            membership_steps = {
+                len(requests) // 3: lambda: added.append(elastic_store.add_shard()),
+                (2 * len(requests)) // 3: lambda: elastic_store.remove_shard(added.pop()),
+            }
+            elastic_served = drive(elastic, membership_steps)
+
+        store = elastic.store
+        meters = {
+            "keys_migrated": store.keys_migrated,
+            "migration_bytes": store.migration_bytes,
+            "keys_rehydrated": store.keys_rehydrated,
+            "rehydration_bytes": store.rehydration_bytes,
+            "shard_failures": store.shard_failures,
+            "shard_recoveries": store.shard_recoveries,
+            "membership_changes": store.membership_changes,
+        }
+        if scenario == "shard_failover" and meters["keys_rehydrated"] == 0:
+            raise AssertionError(
+                "shard_failover recovered without re-hydrating a single key — the fault never bit"
+            )
+        if scenario == "diurnal_rebalance" and meters["keys_migrated"] == 0:
+            raise AssertionError(
+                "diurnal_rebalance migrated no keys — the resize never changed ownership"
+            )
+        if [p.probability for p in elastic_served] != [p.probability for p in baseline_served]:
+            raise AssertionError(
+                f"{scenario}: the elastic arm's predictions diverged from the static baseline"
+            )
+        baseline_state = {key: baseline.store.get(key) for key in sorted(baseline.store.keys())}
+        elastic_state = {key: store.get(key) for key in sorted(store.keys())}
+        if not _stored_equal(baseline_state, elastic_state):
+            raise AssertionError(
+                f"{scenario}: the elastic arm's final per-user state diverged from the static baseline"
+            )
+        measured = {
+            "served": len(elastic_served),
+            "bit_identical": True,
+            "load_imbalance": store.load_imbalance(),
+            "metrics": elastic.metrics.snapshot(),
+            **meters,
+        }
+        baseline.close()
+        elastic.close()
+        return measured
+
     prediction_speedups: dict[str, float] = {}
     update_speedups: dict[str, float] = {}
     shed_rates: dict[str, float] = {}
+    elastic_meters: dict[str, dict[str, int]] = {}
     metrics_snapshot: dict[str, Any] = {}
     for scenario, requests in streams_by_scenario.items():
         if scenario == "overload":
@@ -737,6 +943,36 @@ def run_batched_serving(
                     }
                 )
                 metrics_snapshot = measured["metrics"]
+            continue
+        if scenario in ("shard_failover", "diurnal_rebalance"):
+            # One elastic replay per scenario at the largest batch size: the
+            # run itself asserts bit-equivalence with its static baseline,
+            # and the row reports the migration/re-hydration traffic that is
+            # allowed to differ.
+            elastic_batch = max(batch_sizes)
+            measured = run_elastic_replay(scenario, requests, elastic_batch)
+            metrics_snapshot = measured["metrics"] or metrics_snapshot
+            elastic_meters[scenario] = {
+                "keys_migrated": measured["keys_migrated"],
+                "keys_rehydrated": measured["keys_rehydrated"],
+            }
+            result.rows.append(
+                {
+                    "scenario": scenario,
+                    "batch_size": elastic_batch,
+                    "replication": replication,
+                    "served": measured["served"],
+                    "bit_identical": measured["bit_identical"],
+                    "keys_migrated": measured["keys_migrated"],
+                    "migration_bytes": measured["migration_bytes"],
+                    "keys_rehydrated": measured["keys_rehydrated"],
+                    "rehydration_bytes": measured["rehydration_bytes"],
+                    "shard_failures": measured["shard_failures"],
+                    "shard_recoveries": measured["shard_recoveries"],
+                    "membership_changes": measured["membership_changes"],
+                    "load_imbalance": round(measured["load_imbalance"], 3),
+                }
+            )
             continue
         if scenario == "window_sweep":
             # Latency vs wave-size trade-off: same bursty stream, same batch
@@ -802,6 +1038,8 @@ def run_batched_serving(
         "service_rate": service_rate if set(scenarios) & set(OVERLOAD_SCENARIOS) else None,
         "slo_mode": slo_mode if set(scenarios) & set(OVERLOAD_SCENARIOS) else None,
         "shed_rates": shed_rates,
+        "replication": replication if elastic else None,
+        "elastic_meters": elastic_meters,
     }
     if metrics_snapshot:
         # The last facade-built pipeline's full registry dump; the manifest

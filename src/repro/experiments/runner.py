@@ -83,8 +83,31 @@ _ENGINE_FIELD_SPECS = {
     "history_window": ParamSpec("history_window", "int", default=28 * 86400, minimum=1),
     "store_name": ParamSpec("store_name", "str", default="engine"),
     "telemetry": ParamSpec("telemetry", "bool", default=True),
+    "replication": ParamSpec("replication", "int", default=1, minimum=1),
+    # failure_schedule is a nested list of (fire_at, action, shard_index)
+    # triples — no ParamSpec kind models that, so validate_engine_block
+    # shape-checks it by hand and EngineConfig.__post_init__ does the rest.
+    "failure_schedule": None,
 }
 assert set(_ENGINE_FIELD_SPECS) == _ENGINE_FIELDS, "engine-block schemas drifted from EngineConfig"
+
+
+def _validate_failure_schedule(value: Any, *, where: str) -> None:
+    """Shape-check a manifest ``failure_schedule`` (semantic bounds checking
+    — action names, shard indices, replication — lives in
+    ``EngineConfig.__post_init__``, which sees the whole config)."""
+    if not isinstance(value, (list, tuple)):
+        raise ManifestError(f"{where}: expected a list of (fire_at, action, shard_index) triples")
+    for entry in value:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise ManifestError(f"{where}: entry {entry!r} is not a (fire_at, action, shard_index) triple")
+        fire_at, action, shard_index = entry
+        if isinstance(fire_at, bool) or not isinstance(fire_at, int):
+            raise ManifestError(f"{where}: fire_at {fire_at!r} must be an int (simulated seconds)")
+        if not isinstance(action, str):
+            raise ManifestError(f"{where}: action {action!r} must be a string")
+        if isinstance(shard_index, bool) or not isinstance(shard_index, int):
+            raise ManifestError(f"{where}: shard_index {shard_index!r} must be an int")
 
 
 class ManifestError(ValueError):
@@ -118,8 +141,12 @@ def validate_engine_block(
             "(it derives them per pipeline, or they have no effect on its dataflow)"
         )
     for name, value in engine.items():
+        spec = _ENGINE_FIELD_SPECS[name]
+        if spec is None:
+            _validate_failure_schedule(value, where=f"{where}, field {name!r}")
+            continue
         try:
-            _ENGINE_FIELD_SPECS[name].validate(value, where=f"{where}, field {name!r}")
+            spec.validate(value, where=f"{where}, field {name!r}")
         except SpecValidationError as error:
             raise ManifestError(str(error)) from None
     if backends and engine.get("backend", backends[0]) not in backends:

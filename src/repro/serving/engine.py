@@ -54,14 +54,20 @@ __all__ = ["Backend", "EngineConfig", "ServingEngine", "BACKEND_KINDS", "store_t
 BACKEND_KINDS = ("hidden_state", "aggregation")
 
 
-def store_topology(store) -> tuple[int | None, str]:
-    """``(n_shards, store_name)`` as an :class:`EngineConfig` would describe ``store``.
+def store_topology(store) -> tuple[int | None, int | None, str]:
+    """``(n_shards, replication, store_name)`` as an :class:`EngineConfig`
+    would describe ``store`` (``replication`` is ``None`` for an unsharded
+    store, which has no replica groups).
 
     Used to keep a caller-supplied store and the declarative config in
     agreement: ``ServingEngine.build`` rejects contradictions, and the
     deprecation shims adopt the caller store's topology into their config.
     """
-    return getattr(store, "n_shards", None), getattr(store, "name", "engine")
+    return (
+        getattr(store, "n_shards", None),
+        getattr(store, "replication", None),
+        getattr(store, "name", "engine"),
+    )
 
 
 @runtime_checkable
@@ -119,6 +125,19 @@ class EngineConfig:
     stream delivery, backend and queue, surfaced as ``engine.metrics``.
     Telemetry is pure observation — an instrumented pipeline is
     bit-identical to a disabled one in every serving observable.
+
+    ``replication`` sets the sharded store's replica-group size (each key
+    on ``r`` distinct shards; requires ``n_shards``).  ``failure_schedule``
+    injects shard faults on the simulated clock: a tuple of
+    ``(fire_at, action, shard_index)`` entries (``action`` is ``"fail"``
+    or ``"recover"``, ``shard_index`` into the initial pool), installed as
+    stream timers by :meth:`ServingEngine.build` — so it needs the
+    deferred-update dataflow (a stream) and ``replication >= 2`` (failing
+    an unreplicated shard would lose data, which the store refuses to do).
+    Replication, failure and recovery are placement-only: they change
+    which shards hold each key and what the traffic meters read, never a
+    served value — a scheduled run is bit-identical to a fault-free one
+    (pinned by ``tests/test_elastic_ring.py``).
     """
 
     backend: str = "hidden_state"
@@ -133,6 +152,8 @@ class EngineConfig:
     history_window: int = 28 * 86400
     store_name: str = "engine"
     telemetry: bool = True
+    replication: int = 1
+    failure_schedule: tuple[tuple[int, str, int], ...] | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_KINDS:
@@ -149,6 +170,53 @@ class EngineConfig:
             raise ValueError("extra_lag must be non-negative")
         if self.history_window <= 0:
             raise ValueError("history_window must be positive")
+        if self.replication <= 0:
+            raise ValueError("replication must be positive")
+        if self.replication > 1:
+            if self.n_shards is None:
+                raise ValueError("replication needs a sharded store: set n_shards")
+            if self.replication > self.n_shards:
+                raise ValueError(
+                    f"replication {self.replication} exceeds n_shards {self.n_shards}"
+                )
+        if self.failure_schedule is not None:
+            # Canonicalize so a config survives a JSON round trip intact
+            # (json turns tuples into lists; to_dict/from_dict equality is
+            # pinned by tests/test_engine.py).
+            entries = []
+            for raw in self.failure_schedule:
+                entry = tuple(raw)
+                if len(entry) != 3:
+                    raise ValueError(
+                        "failure_schedule entries are (fire_at, action, shard_index) triples"
+                    )
+                fire_at, action, shard_index = entry
+                if isinstance(fire_at, bool) or not isinstance(fire_at, int):
+                    raise ValueError("failure_schedule fire_at must be an int (simulated seconds)")
+                if action not in ("fail", "recover"):
+                    raise ValueError(
+                        f"unknown failure_schedule action {action!r}; expected 'fail' or 'recover'"
+                    )
+                if isinstance(shard_index, bool) or not isinstance(shard_index, int):
+                    raise ValueError("failure_schedule shard_index must be an int")
+                if self.n_shards is None or not 0 <= shard_index < self.n_shards:
+                    raise ValueError(
+                        f"failure_schedule shard_index {shard_index} outside the "
+                        f"initial pool (n_shards={self.n_shards})"
+                    )
+                entries.append((fire_at, action, shard_index))
+            object.__setattr__(self, "failure_schedule", tuple(entries))
+            if entries:
+                if self.replication < 2:
+                    raise ValueError(
+                        "a failure_schedule needs replication >= 2: failing an "
+                        "unreplicated shard would lose its keys"
+                    )
+                if not self.deferred_updates:
+                    raise ValueError(
+                        "a failure_schedule fires on the stream clock and needs the "
+                        "deferred-update dataflow (hidden_state, or defer_updates=True)"
+                    )
         if self.backend == "hidden_state":
             if self.session_length is None:
                 raise ValueError("the hidden_state backend needs a session_length")
@@ -259,17 +327,29 @@ class ServingEngine:
         registry: MetricsRegistry | None = MetricsRegistry() if config.telemetry else None
         if store is None:
             if config.n_shards is not None:
-                store = ShardedKeyValueStore(config.n_shards, name=config.store_name, registry=registry)
+                store = ShardedKeyValueStore(
+                    config.n_shards,
+                    name=config.store_name,
+                    replication=config.replication,
+                    registry=registry,
+                )
             else:
                 store = KeyValueStore(config.store_name, registry=registry)
-        elif store_topology(store) != (config.n_shards, config.store_name):
-            # Same principle as the stream check below: a manifest rebuilt
-            # from engine.config.to_dict() must reconstruct this pipeline,
-            # including shard topology and ring seeding.
-            raise ValueError(
-                f"store topology {store_topology(store)} contradicts EngineConfig "
-                f"(n_shards={config.n_shards}, store_name={config.store_name!r})"
+        else:
+            expected = (
+                config.n_shards,
+                config.replication if config.n_shards is not None else None,
+                config.store_name,
             )
+            if store_topology(store) != expected:
+                # Same principle as the stream check below: a manifest rebuilt
+                # from engine.config.to_dict() must reconstruct this pipeline,
+                # including shard topology, replica groups and ring seeding.
+                raise ValueError(
+                    f"store topology {store_topology(store)} contradicts EngineConfig "
+                    f"(n_shards={config.n_shards}, replication={config.replication}, "
+                    f"store_name={config.store_name!r})"
+                )
         if config.deferred_updates:
             if stream is None:
                 stream = StreamProcessor(coalescing_window=config.coalescing_window)
@@ -281,6 +361,27 @@ class ServingEngine:
                     f"stream coalescing_window {stream.coalescing_window} contradicts "
                     f"EngineConfig.coalescing_window {config.coalescing_window}"
                 )
+        if config.failure_schedule:
+            # Config validation guarantees a deferred dataflow (stream) and a
+            # replicated sharded store here.  Each entry becomes a
+            # *control-plane* stream timer: faults fire interleaved with
+            # update waves in deterministic simulated-clock order, but do not
+            # trigger the micro-batch flush barrier — a fault changes key
+            # placement, never a stored value, so flushing for it would alter
+            # batch composition and break bit-equivalence with a fault-free
+            # run.
+            for fire_at, action, shard_index in config.failure_schedule:
+                if shard_index >= len(store.shards):
+                    raise ValueError(
+                        f"failure_schedule shard_index {shard_index} outside the "
+                        f"supplied store's pool of {len(store.shards)} shards"
+                    )
+                shard_name = store.shards[shard_index].name
+                if action == "fail":
+                    callback = lambda key, events, _store=store, _name=shard_name: _store.fail_shard(_name)
+                else:
+                    callback = lambda key, events, _store=store, _name=shard_name: _store.recover_shard(_name)
+                stream.set_control_timer(fire_at, f"ring:{action}:{shard_index}@{fire_at}", callback)
         if config.backend == "hidden_state":
             if network is None or builder is None:
                 raise ValueError("the hidden_state backend needs network= and builder=")

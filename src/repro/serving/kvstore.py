@@ -138,6 +138,19 @@ class KeyValueStore:
     def keys(self) -> Iterator[str]:
         return iter(self._data.keys())
 
+    def size_of(self, key: str) -> int:
+        """Recorded size of ``key``'s value (0 when absent).  Does not meter:
+        replication and migration use it to forward a value's original size
+        without charging a phantom read."""
+        return self._sizes.get(key, 0)
+
+    def clear(self) -> None:
+        """Drop every stored value, keeping the traffic meters.  Models a
+        crash that loses a shard's *state* — the requests it already served
+        still happened."""
+        self._data.clear()
+        self._sizes.clear()
+
     # ------------------------------------------------------------------
     @property
     def n_keys(self) -> int:

@@ -10,6 +10,31 @@ replacement for ``KeyValueStore`` that routes every operation through a
 the per-shard meters up into the same aggregate counters (and, via
 :func:`~repro.serving.cost.kv_traffic_cost`, the same cost accounting) the
 unsharded store reports.
+
+The pool is *elastic*:
+
+* **Replica groups** — with ``replication=r`` every key is owned by the
+  ``r`` distinct shards that follow its hash clockwise on the ring
+  (:meth:`ConsistentHashRing.nodes_for`).  Writes fan out to every live
+  owner; reads prefer the primary (the first owner) and *read-repair* any
+  live owner holding a stale or missing copy.  A per-key write-version
+  sidecar makes staleness exact, not heuristic.
+* **Live resharding** — :meth:`add_shard` / :meth:`remove_shard` /
+  :meth:`resize` change membership while serving: only keys whose owner set
+  actually changed are copied to their new owners (and dropped from the old
+  ones), with the migration traffic metered into the registry
+  (``ring.<name>.keys_migrated``, ``ring.<name>.migration_bytes``).
+* **Fault injection** — :meth:`fail_shard` wipes a shard's data (a crash
+  loses state, not client traffic) and takes it out of the write/read fan
+  out; :meth:`recover_shard` brings it back and eagerly re-hydrates its
+  owned keys from live replicas (``ring.<name>.keys_rehydrated`` /
+  ``ring.<name>.rehydration_bytes``).  At most ``replication - 1`` shards
+  may be failed at once, so every key always has a live, current owner.
+
+All of it is bit-invisible to serving results by construction: a pipeline
+that resizes mid-run or loses-and-recovers a shard returns the same values
+for every ``get`` as a static pool — only placement and the traffic /
+migration meters differ (pinned by ``tests/test_elastic_ring.py``).
 """
 
 from __future__ import annotations
@@ -22,7 +47,20 @@ from .cost import CostParameters, kv_traffic_cost
 from .kvstore import KV_COUNTER_FIELDS, KeyValueStore, KVStats
 from .telemetry import NULL_REGISTRY, MetricsRegistry
 
-__all__ = ["ConsistentHashRing", "ShardedKeyValueStore"]
+__all__ = ["ConsistentHashRing", "ShardedKeyValueStore", "RING_COUNTER_FIELDS"]
+
+#: The elastic-pool meters, in registry order — each surfaces as a counter
+#: named ``ring.<pool name>.<field>`` through the same lazy sync-hook
+#: machinery the per-shard ``kv.*`` counters use.
+RING_COUNTER_FIELDS = (
+    "keys_migrated",
+    "migration_bytes",
+    "keys_rehydrated",
+    "rehydration_bytes",
+    "shard_failures",
+    "shard_recoveries",
+    "membership_changes",
+)
 
 
 def _stable_hash(value: str) -> int:
@@ -36,7 +74,10 @@ class ConsistentHashRing:
     Each node is placed at ``replicas`` pseudo-random points on a 64-bit
     ring; a key is owned by the first node clockwise from the key's hash.
     Adding a node steals only the keys that now fall in its arcs; removing a
-    node reassigns only the keys it owned.
+    node reassigns only the keys it owned.  :meth:`nodes_for` generalises
+    ownership to replica groups: the first ``count`` *distinct* nodes
+    clockwise from the key, so replica placement inherits the same minimal
+    movement property under membership changes.
     """
 
     def __init__(self, nodes: list[str] | None = None, *, replicas: int = 64) -> None:
@@ -45,12 +86,13 @@ class ConsistentHashRing:
         self.replicas = replicas
         self._points: list[int] = []
         self._owners: dict[int, str] = {}
-        # Route cache: key → owning node.  Serving traffic is heavily
-        # key-repetitive (one hidden-state record per user), so memoising the
-        # blake2b + ring search turns the per-request routing cost into a
-        # dict hit.  Membership changes invalidate the whole cache — resizes
-        # are rare, lookups are the hot path.
+        # Route caches: key → owning node / owner group.  Serving traffic is
+        # heavily key-repetitive (one hidden-state record per user), so
+        # memoising the blake2b + ring search turns the per-request routing
+        # cost into a dict hit.  Membership changes invalidate both caches —
+        # resizes are rare, lookups are the hot path.
         self._route_cache: dict[str, str] = {}
+        self._multi_cache: dict[str, tuple[str, ...]] = {}
         for node in nodes or []:
             self.add_node(node)
 
@@ -64,15 +106,20 @@ class ConsistentHashRing:
             bisect.insort(self._points, point)
             self._owners[point] = node
         self._route_cache.clear()
+        self._multi_cache.clear()
 
     def remove_node(self, node: str) -> None:
         points = [p for p in self._virtual_points(node) if self._owners.get(p) == node]
         if not points:
             raise KeyError(f"node {node!r} is not on the ring")
         for point in points:
-            self._points.remove(point)
+            # bisect_left gives the exact slot in the sorted list: an O(log n)
+            # lookup + O(n) del, not the O(n) equality scan list.remove does
+            # per virtual point (which made each removal quadratic).
+            del self._points[bisect.bisect_left(self._points, point)]
             del self._owners[point]
         self._route_cache.clear()
+        self._multi_cache.clear()
 
     def node_for(self, key: str) -> str:
         owner = self._route_cache.get(key)
@@ -87,6 +134,35 @@ class ConsistentHashRing:
         self._route_cache[key] = owner
         return owner
 
+    def nodes_for(self, key: str, count: int) -> tuple[str, ...]:
+        """The first ``count`` distinct nodes clockwise from ``key``'s hash.
+
+        ``nodes_for(key, count)[0] == node_for(key)`` always: the replica
+        group extends primary ownership, it never changes it.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if count == 1:
+            return (self.node_for(key),)
+        cached = self._multi_cache.get(key)
+        if cached is not None and len(cached) == count:
+            return cached
+        if not self._points:
+            raise RuntimeError("the hash ring has no nodes")
+        if count > len(self):
+            raise ValueError(f"cannot pick {count} distinct owners from a {len(self)}-node ring")
+        start = bisect.bisect_right(self._points, _stable_hash(key))
+        owners: list[str] = []
+        for step in range(len(self._points)):
+            node = self._owners[self._points[(start + step) % len(self._points)]]
+            if node not in owners:
+                owners.append(node)
+                if len(owners) == count:
+                    break
+        group = tuple(owners)
+        self._multi_cache[key] = group
+        return group
+
     @property
     def nodes(self) -> list[str]:
         return sorted(set(self._owners.values()))
@@ -96,14 +172,22 @@ class ConsistentHashRing:
 
 
 class ShardedKeyValueStore:
-    """Pool of :class:`KeyValueStore` shards behind a consistent-hash router.
+    """Elastic pool of :class:`KeyValueStore` shards behind a consistent-hash router.
 
     API-compatible with a single ``KeyValueStore`` (every read/write/metering
     accessor the serving services use), so the serving backends can be pointed
     at either.  Per-shard traffic and storage stay visible through
     :meth:`shard_snapshots` / :meth:`cost_report`, while the aggregate
     :attr:`stats` sums the shard meters — by construction, the totals for a
-    given workload equal what the unsharded store would report.
+    given workload equal what the unsharded store would report (at the
+    default ``replication=1``; replicated writes fan out, so their meters
+    count each physical copy).
+
+    ``replication=r`` keeps each key on the ``r`` distinct shards that
+    follow its hash on the ring; see the module docstring for the
+    replication / resharding / failover semantics.  The ``r == 1`` hot path
+    is byte-for-byte the pre-replication dispatch — no version sidecar is
+    maintained and no fan-out loop runs.
     """
 
     def __init__(
@@ -111,20 +195,54 @@ class ShardedKeyValueStore:
         n_shards: int = 4,
         name: str = "kv",
         *,
+        replication: int = 1,
         replicas: int = 64,
         registry: MetricsRegistry | None = None,
     ) -> None:
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
+        if replication <= 0:
+            raise ValueError("replication must be positive")
+        if replication > n_shards:
+            raise ValueError(f"replication {replication} exceeds n_shards {n_shards}")
         self.name = name
+        self.replication = replication
+        self._registry = registry
         self.metrics = registry if registry is not None else NULL_REGISTRY
         self.shards = [
             KeyValueStore(f"{name}/shard{index}", registry=registry) for index in range(n_shards)
         ]
-        self._ring = ConsistentHashRing(
-            [f"{name}/shard{index}" for index in range(n_shards)], replicas=replicas
-        )
+        self._ring = ConsistentHashRing([shard.name for shard in self.shards], replicas=replicas)
         self._by_name = {shard.name: shard for shard in self.shards}
+        self._index_by_name = {shard.name: index for index, shard in enumerate(self.shards)}
+        # Shard ids are monotone and never reused: a shard added after a
+        # removal gets a fresh name, so registry counters (keyed by shard
+        # name) can never silently merge two generations of a shard.
+        self._next_shard_id = n_shards
+        self._failed: set[str] = set()
+        # Version sidecars (maintained only when replication > 1): the
+        # per-key write version plus each shard's last-applied version, so
+        # "is this replica current?" is an exact integer comparison.
+        self._versions: dict[str, int] = {}
+        self._shard_versions: dict[str, dict[str, int]] = {shard.name: {} for shard in self.shards}
+        # Elastic-pool meters (legacy attributes, mirrored into
+        # ``ring.<name>.*`` registry counters via a lazy sync hook).
+        self.keys_migrated = 0
+        self.migration_bytes = 0
+        self.keys_rehydrated = 0
+        self.rehydration_bytes = 0
+        self.shard_failures = 0
+        self.shard_recoveries = 0
+        self.membership_changes = 0
+        self._ring_counters = {
+            field_name: self.metrics.counter(f"ring.{name}.{field_name}")
+            for field_name in RING_COUNTER_FIELDS
+        }
+        self.metrics.register_sync(self._sync_ring_metrics)
+
+    def _sync_ring_metrics(self) -> None:
+        for field_name, counter in self._ring_counters.items():
+            counter.value = getattr(self, field_name)
 
     # ------------------------------------------------------------------
     # Routing
@@ -134,52 +252,314 @@ class ShardedKeyValueStore:
         return len(self.shards)
 
     def shard_for(self, key: str) -> KeyValueStore:
-        """The unique shard that owns ``key``."""
+        """The shard that primarily owns ``key`` (first on its replica group)."""
         return self._by_name[self._ring.node_for(key)]
 
     def shard_index(self, key: str) -> int:
-        return self.shards.index(self.shard_for(key))
+        """Index of ``key``'s primary shard in :attr:`shards` — a dict hit
+        against a name→index map membership changes keep current, not a
+        linear ``list.index`` scan of the pool per routed request."""
+        return self._index_by_name[self._ring.node_for(key)]
+
+    def owner_names(self, key: str) -> tuple[str, ...]:
+        """``key``'s replica group, primary first (length :attr:`replication`)."""
+        if self.replication == 1:
+            return (self._ring.node_for(key),)
+        return self._ring.nodes_for(key, self.replication)
+
+    def _live_owners(self, key: str) -> list[str]:
+        return [name for name in self.owner_names(key) if name not in self._failed]
+
+    @property
+    def failed_shards(self) -> tuple[str, ...]:
+        return tuple(sorted(self._failed))
 
     # ------------------------------------------------------------------
     # KeyValueStore-compatible operations
     # ------------------------------------------------------------------
     def get(self, key: str, default: Any = None) -> Any:
-        return self.shard_for(key).get(key, default)
+        if self.replication == 1:
+            return self._by_name[self._ring.node_for(key)].get(key, default)
+        live = self._live_owners(key)
+        version = self._versions.get(key)
+        if version is None:
+            # Never written (or deleted): meter the miss where the primary
+            # live owner would have served it.
+            return self._by_name[live[0]].get(key, default)
+        source_name = next(
+            (name for name in live if self._shard_versions[name].get(key) == version), None
+        )
+        if source_name is None:
+            raise RuntimeError(
+                f"no live replica holds the current version of {key!r} "
+                "(the fail-shard guard should make this unreachable)"
+            )
+        source = self._by_name[source_name]
+        value = source.get(key)
+        size = source.size_of(key)
+        for name in live:
+            if self._shard_versions[name].get(key) == version:
+                continue
+            # Read-repair: bring the stale/missing live replica current.
+            self._by_name[name].put(key, value, size_bytes=size)
+            self._shard_versions[name][key] = version
+            self.keys_rehydrated += 1
+            self.rehydration_bytes += size
+        return value
 
     def put(self, key: str, value: Any, size_bytes: int | None = None) -> None:
-        self.shard_for(key).put(key, value, size_bytes=size_bytes)
+        if self.replication == 1:
+            self._by_name[self._ring.node_for(key)].put(key, value, size_bytes=size_bytes)
+            return
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        for name in self._live_owners(key):
+            self._by_name[name].put(key, value, size_bytes=size_bytes)
+            self._shard_versions[name][key] = version
 
     def delete(self, key: str) -> bool:
-        return self.shard_for(key).delete(key)
+        if self.replication == 1:
+            return self._by_name[self._ring.node_for(key)].delete(key)
+        deleted = False
+        for name in self.owner_names(key):
+            self._shard_versions[name].pop(key, None)
+            if name in self._failed:
+                continue
+            deleted = self._by_name[name].delete(key) or deleted
+        self._versions.pop(key, None)
+        return deleted
 
     def contains(self, key: str) -> bool:
-        return self.shard_for(key).contains(key)
+        if self.replication == 1:
+            return self._by_name[self._ring.node_for(key)].contains(key)
+        return key in self._versions
 
     def __contains__(self, key: str) -> bool:
         return self.contains(key)
 
     def __len__(self) -> int:
-        return sum(len(shard) for shard in self.shards)
+        """Logical key count (each key once, however many replicas hold it)."""
+        if self.replication == 1:
+            return sum(len(shard) for shard in self.shards)
+        return len(self._versions)
 
     def keys(self) -> Iterator[str]:
-        for shard in self.shards:
-            yield from shard.keys()
+        """Logical keys (each once; replicated copies are not repeated)."""
+        if self.replication == 1:
+            for shard in self.shards:
+                yield from shard.keys()
+        else:
+            yield from self._versions
 
     def reset_stats(self) -> None:
         for shard in self.shards:
             shard.reset_stats()
 
     # ------------------------------------------------------------------
+    # Elastic membership: resize, failure, recovery
+    # ------------------------------------------------------------------
+    def _logical_keys(self) -> list[str]:
+        if self.replication > 1:
+            return list(self._versions)
+        return [key for shard in self.shards for key in shard.keys()]
+
+    def _ownership_snapshot(self) -> dict[str, tuple[str, ...]]:
+        return {key: self.owner_names(key) for key in self._logical_keys()}
+
+    def _migrate(self, before: dict[str, tuple[str, ...]]) -> None:
+        """Move exactly the keys whose owner set changed under the new ring.
+
+        For each changed key, a live *current* old owner serves as the
+        migration source (under ``remove_shard`` this may be the departing
+        shard itself, which stays readable until migration completes); each
+        gained owner receives a metered copy, each lost owner drops its
+        copy.  Keys whose replica group is unchanged are never touched —
+        the consistent-hashing minimal-movement property, now load-bearing.
+        """
+        for key, old_owners in before.items():
+            new_owners = self.owner_names(key)
+            if new_owners == old_owners:
+                continue
+            if self.replication == 1:
+                version = None
+                source = self._by_name[old_owners[0]]
+            else:
+                version = self._versions.get(key)
+                source_name = next(
+                    (
+                        name
+                        for name in old_owners
+                        if name not in self._failed
+                        and self._shard_versions[name].get(key) == version
+                    ),
+                    None,
+                )
+                if source_name is None:
+                    raise RuntimeError(
+                        f"no live replica holds the current version of {key!r} during migration"
+                    )
+                source = self._by_name[source_name]
+            gained = [name for name in new_owners if name not in old_owners]
+            lost = [name for name in old_owners if name not in new_owners]
+            if gained:
+                value = source.get(key)
+                size = source.size_of(key)
+                for name in gained:
+                    if name in self._failed:
+                        # A failed shard gains ownership on paper only; it is
+                        # re-hydrated when it recovers.
+                        continue
+                    self._by_name[name].put(key, value, size_bytes=size)
+                    if self.replication > 1:
+                        self._shard_versions[name][key] = version
+                    self.keys_migrated += 1
+                    self.migration_bytes += size
+            for name in lost:
+                if self.replication > 1:
+                    self._shard_versions[name].pop(key, None)
+                if name in self._failed:
+                    continue
+                self._by_name[name].delete(key)
+
+    def add_shard(self) -> str:
+        """Grow the pool by one shard, migrating the keys it now owns.
+
+        The new shard's name continues the monotone id sequence
+        (``<name>/shard<next>``), so a pool grown to ``n`` shards routes
+        identically to one constructed with ``n_shards=n`` — placement
+        depends only on current membership, never on history.
+        """
+        name = f"{self.name}/shard{self._next_shard_id}"
+        before = self._ownership_snapshot()
+        shard = KeyValueStore(name, registry=self._registry)
+        self._next_shard_id += 1
+        self.shards.append(shard)
+        self._by_name[name] = shard
+        self._shard_versions[name] = {}
+        self._index_by_name[name] = len(self.shards) - 1
+        self._ring.add_node(name)
+        self._migrate(before)
+        self.membership_changes += 1
+        return name
+
+    def remove_shard(self, name: str) -> None:
+        """Shrink the pool by one shard, migrating its keys out first.
+
+        The departing shard stays readable as a migration source until every
+        key it owned has a new home; its traffic counters leave the
+        aggregate :attr:`stats` with it (the rollup always describes the
+        current pool).
+        """
+        if name not in self._by_name:
+            raise KeyError(f"shard {name!r} is not in the pool")
+        if len(self.shards) - 1 < self.replication:
+            raise ValueError(
+                f"removing {name!r} would leave {len(self.shards) - 1} shards, "
+                f"fewer than replication {self.replication}"
+            )
+        before = self._ownership_snapshot()
+        self._ring.remove_node(name)
+        self._migrate(before)
+        shard = self._by_name.pop(name)
+        self.shards.remove(shard)
+        del self._shard_versions[name]
+        self._failed.discard(name)
+        self._index_by_name = {shard.name: index for index, shard in enumerate(self.shards)}
+        self.membership_changes += 1
+
+    def resize(self, n_shards: int) -> None:
+        """Grow or shrink the pool to ``n_shards`` live migration steps.
+
+        Shrinking removes the most recently added shards first (highest ids),
+        so ``resize(n)`` after ``resize(m > n)`` restores the original
+        membership — and with it, bit-identical placement.
+        """
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if n_shards < self.replication:
+            raise ValueError(f"n_shards {n_shards} below replication {self.replication}")
+        while len(self.shards) < n_shards:
+            self.add_shard()
+        while len(self.shards) > n_shards:
+            self.remove_shard(self.shards[-1].name)
+
+    def fail_shard(self, name: str) -> None:
+        """Fault injection: the shard loses its data and leaves the fan-out.
+
+        A crash loses state, not client traffic — the wipe does not meter.
+        At most ``replication - 1`` shards may be failed at once, so every
+        key keeps at least one live owner holding its current version (all
+        live owners receive every write while a peer is down).
+        """
+        if name not in self._by_name:
+            raise KeyError(f"shard {name!r} is not in the pool")
+        if name in self._failed:
+            raise ValueError(f"shard {name!r} is already failed")
+        if self.replication == 1:
+            raise ValueError("cannot fail a shard without replication: its keys would be lost")
+        if len(self._failed) + 1 >= self.replication:
+            raise ValueError(
+                f"failing {name!r} would allow a key to lose every live replica "
+                f"(replication={self.replication}, already failed: {self.failed_shards})"
+            )
+        self._by_name[name].clear()
+        self._shard_versions[name] = {}
+        self._failed.add(name)
+        self.shard_failures += 1
+
+    def recover_shard(self, name: str, *, rehydrate: bool = True) -> None:
+        """Bring a failed shard back, re-hydrating its owned keys from replicas.
+
+        ``rehydrate=False`` recovers lazily instead: the shard rejoins the
+        fan-out empty and read-repair restores keys on access — cheaper up
+        front, but another failure before repair completes can orphan keys,
+        so eager re-hydration is the default.
+        """
+        if name not in self._failed:
+            raise ValueError(f"shard {name!r} is not failed")
+        self._failed.discard(name)
+        self.shard_recoveries += 1
+        if not rehydrate:
+            return
+        shard = self._by_name[name]
+        for key, version in self._versions.items():
+            owners = self.owner_names(key)
+            if name not in owners or self._shard_versions[name].get(key) == version:
+                continue
+            source_name = next(
+                (
+                    owner
+                    for owner in owners
+                    if owner != name
+                    and owner not in self._failed
+                    and self._shard_versions[owner].get(key) == version
+                ),
+                None,
+            )
+            if source_name is None:
+                raise RuntimeError(
+                    f"no live replica holds the current version of {key!r} during recovery"
+                )
+            source = self._by_name[source_name]
+            value = source.get(key)
+            size = source.size_of(key)
+            shard.put(key, value, size_bytes=size)
+            self._shard_versions[name][key] = version
+            self.keys_rehydrated += 1
+            self.rehydration_bytes += size
+
+    # ------------------------------------------------------------------
     # Metering rollup
     # ------------------------------------------------------------------
     @property
     def stats(self) -> KVStats:
-        """Aggregate traffic meters: the sum of every shard's counters.
+        """Aggregate traffic meters: the sum of every current shard's counters.
 
         Unlike ``KeyValueStore.stats`` this is a *snapshot*, recomputed per
         access, not a live counter object — hold onto the returned value and
         it will not advance.  Re-read the property (or use
-        :meth:`shard_snapshots`) after further traffic.
+        :meth:`shard_snapshots`) after further traffic.  A removed shard's
+        counters leave the rollup with it.
         """
         total = KVStats()
         for shard in self.shards:
@@ -213,6 +593,7 @@ class ShardedKeyValueStore:
 
     @property
     def total_bytes(self) -> int:
+        """Physical storage footprint (replicated copies each count)."""
         return sum(shard.total_bytes for shard in self.shards)
 
     def bytes_for_prefix(self, prefix: str) -> int:

@@ -64,7 +64,7 @@ class HiddenStateService:
         _deprecated("HiddenStateService")
         # Adopt the caller's store/stream configuration: the config must
         # describe the pipeline actually built.
-        n_shards, store_name = store_topology(store)
+        n_shards, replication, store_name = store_topology(store)
         self.serving_engine = ServingEngine.build(
             EngineConfig(
                 backend="hidden_state",
@@ -76,6 +76,7 @@ class HiddenStateService:
                 extra_lag=extra_lag,
                 coalesce_updates=coalesce_updates,
                 store_name=store_name,
+                replication=replication if replication is not None else 1,
             ),
             network=network,
             builder=builder,
@@ -184,7 +185,7 @@ class AggregationFeatureService:
         max_batch_size: int = 1,
     ) -> None:
         _deprecated("AggregationFeatureService")
-        n_shards, store_name = store_topology(store)
+        n_shards, replication, store_name = store_topology(store)
         self.serving_engine = ServingEngine.build(
             EngineConfig(
                 backend="aggregation",
@@ -192,6 +193,7 @@ class AggregationFeatureService:
                 n_shards=n_shards,
                 history_window=history_window,
                 store_name=store_name,
+                replication=replication if replication is not None else 1,
             ),
             featurizer=featurizer,
             estimator=estimator,

@@ -50,25 +50,30 @@ class SloPolicy:
     meaningful whether or not a :class:`ServerModel` is attached.
     ``max_p99_update_delay`` targets the p99 of the end-to-end update
     latency histogram (simulated seconds from a session window's close to
-    its update actually applying, server backlog included).  The histogram
-    is run-cumulative, so this bound behaves as a **latched circuit
-    breaker**: once the run's p99 breaches the target, the controller
-    stays engaged for (effectively) the rest of the run — deterministic
-    and deliberately conservative, because an SLO already blown for 1% of
-    updates is not un-blown by later quiet traffic.  Use
-    ``max_queue_depth`` for a load signal that recovers as pressure
-    drains.  Both ``None`` means the policy never triggers: attaching it
-    is a no-op by contract.
+    its update actually applying, server backlog included), evaluated over
+    a sliding window of the last ``p99_window`` observations — so the
+    controller *recovers*: once enough post-spike updates land inside the
+    target, the window p99 drops back under the bound and admission
+    reopens.  ``latched_p99=True`` restores the historical behaviour of
+    reading the run-cumulative histogram instead, where one breach keeps
+    the controller engaged for (effectively) the rest of the run —
+    deterministic and deliberately conservative, for experiments that want
+    a blown SLO to stay visible.  Both bounds ``None`` means the policy
+    never triggers: attaching it is a no-op by contract.
     """
 
     max_queue_depth: int | None = None
     max_p99_update_delay: float | None = None
+    p99_window: int = 256
+    latched_p99: bool = False
 
     def __post_init__(self) -> None:
         if self.max_queue_depth is not None and self.max_queue_depth <= 0:
             raise ValueError("max_queue_depth must be positive (or None to disable)")
         if self.max_p99_update_delay is not None and self.max_p99_update_delay < 0:
             raise ValueError("max_p99_update_delay must be non-negative (or None to disable)")
+        if self.p99_window <= 0:
+            raise ValueError("p99_window must be positive")
 
     @property
     def enabled(self) -> bool:
@@ -151,6 +156,11 @@ class AdmissionController:
         self.metrics = registry if registry is not None else NULL_REGISTRY
         self._latency = self.metrics.histogram("serving.update_latency_seconds", LATENCY_BUCKETS_SECONDS)
         self._delay = self.metrics.histogram("serving.update_delay_seconds", LATENCY_BUCKETS_SECONDS)
+        if policy.max_p99_update_delay is not None and not policy.latched_p99:
+            # Sliding-window p99 (enabled post-hoc: the histograms already
+            # exist — the backend creates them before the controller).
+            self._latency.enable_window(policy.p99_window)
+            self._delay.enable_window(policy.p99_window)
         self._m_offered = self.metrics.counter("slo.requests_offered")
         self._m_shed = self.metrics.counter("slo.requests_shed")
         self._m_deferred = self.metrics.counter("slo.requests_deferred")
@@ -172,7 +182,10 @@ class AdmissionController:
                 reasons.append(f"queue depth {depth:.1f} >= bound {self.policy.max_queue_depth}")
         if self.policy.max_p99_update_delay is not None:
             histogram = self._latency if self._latency.count else self._delay
-            p99 = histogram.quantile(0.99)
+            if self.policy.latched_p99:
+                p99 = histogram.quantile(0.99)
+            else:
+                p99 = histogram.window_quantile(0.99)
             if p99 > self.policy.max_p99_update_delay:
                 reasons.append(f"p99 update latency {p99:g}s > target {self.policy.max_p99_update_delay:g}s")
         return reasons

@@ -90,6 +90,7 @@ class StreamProcessor:
         # callbacks are never compared, and pins registration order.
         self._timers: list[tuple[int, int, str, Any, TimerGroup | None, Any]] = []
         self._counter = itertools.count()
+        self._control_seqs: set[int] = set()
         self._barriers: dict[int, Callable[[], None]] = {}
         self._barrier_ids = itertools.count()
         self.clock: int = 0
@@ -107,10 +108,12 @@ class StreamProcessor:
         self._buffers.setdefault(event.key, []).append(event)
         self.events_published += 1
 
-    def _push_timer(self, fire_at: int, key: str, callback, group, payload) -> None:
+    def _push_timer(self, fire_at: int, key: str, callback, group, payload) -> int:
         if fire_at < self.clock:
             raise ValueError(f"timer at {fire_at} is earlier than the stream clock {self.clock}")
-        heapq.heappush(self._timers, (fire_at, next(self._counter), key, callback, group, payload))
+        seq = next(self._counter)
+        heapq.heappush(self._timers, (fire_at, seq, key, callback, group, payload))
+        return seq
 
     def set_timer(self, fire_at: int, key: str, callback: Callable[[str, list[StreamEvent]], None]) -> None:
         """Schedule ``callback(key, buffered_events)`` at ``fire_at``.
@@ -119,6 +122,21 @@ class StreamProcessor:
         :meth:`timer_group` when the receiver can consume a whole wave.
         """
         self._push_timer(fire_at, key, callback, None, None)
+
+    def set_control_timer(self, fire_at: int, key: str, callback: Callable[[str, list[StreamEvent]], None]) -> None:
+        """Schedule a barrier-exempt *control-plane* timer.
+
+        Like :meth:`set_timer`, but firing it does not run the pre-wave
+        barriers.  The barriers exist so queued predictions are scored
+        before a timer can rewrite per-user state they depend on;
+        control-plane events — shard failure, recovery, membership changes
+        — change *placement*, never a stored value, so flushing the
+        micro-batch for them would change batch composition (and, through
+        shape-dependent BLAS kernels, the low-order bits of scores) for no
+        correctness gain.  Control timers fire one at a time at their exact
+        fire time, never joining (or widening) a coalesced wave.
+        """
+        self._control_seqs.add(self._push_timer(fire_at, key, callback, None, None))
 
     def timer_group(self, callback: Callable[[list[TimerFiring]], None]) -> TimerGroup:
         """Create a :class:`TimerGroup` whose timers are delivered wave-at-a-time."""
@@ -162,6 +180,17 @@ class StreamProcessor:
             raise ValueError("the stream clock cannot move backwards")
         fired = 0
         while self._timers and self._timers[0][0] <= timestamp:
+            if self._timers[0][1] in self._control_seqs:
+                # Control-plane timer: fire alone, barrier-exempt, and leave
+                # any data-plane timer due at the same instant for the next
+                # loop pass (where the barriers run before its wave forms).
+                fire_at, seq, key, callback, _, _ = heapq.heappop(self._timers)
+                self._control_seqs.discard(seq)
+                self.clock = fire_at
+                self.timers_fired += 1
+                fired += 1
+                callback(key, self._buffers.pop(key, []))
+                continue
             for barrier in list(self._barriers.values()):
                 barrier()
             if not (self._timers and self._timers[0][0] <= timestamp):
@@ -219,13 +248,21 @@ class StreamProcessor:
 
     @property
     def next_timer_at(self) -> int | None:
-        """Fire time of the earliest pending timer, or ``None`` when idle.
+        """Fire time of the earliest pending *data-plane* timer, or ``None``.
 
         The micro-batch serving engine uses this as its flush barrier: queued
         predictions must be scored before the clock crosses a timer that
-        could rewrite a hidden state they depend on.
+        could rewrite a hidden state they depend on.  Control-plane timers
+        (:meth:`set_control_timer`) never rewrite stored values, so they are
+        invisible here — otherwise a pending fault-injection timer would
+        force an early flush and change micro-batch composition.
         """
-        return self._timers[0][0] if self._timers else None
+        if not self._timers:
+            return None
+        if not self._control_seqs:
+            return self._timers[0][0]
+        due = [t[0] for t in self._timers if t[1] not in self._control_seqs]
+        return min(due) if due else None
 
     @property
     def buffered_keys(self) -> int:

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import bisect
 import math
+from collections import deque
 from typing import Any, Iterator
 
 __all__ = [
@@ -120,9 +121,20 @@ class Histogram:
     maximum (exact, since the max is tracked), and for an empty histogram
     ``0.0``.  Bucket bounds are part of the snapshot so downstream tooling
     can re-derive any quantile.
+
+    The cumulative view never forgets: :meth:`quantile` over a run-long
+    histogram describes the whole run, so a transient spike latches into the
+    tail forever.  For control decisions that must *recover* (the p99
+    admission bound), :meth:`enable_window` keeps a sliding window of the
+    last ``size`` observations' bucket indices, and
+    :meth:`window_quantile` answers over that window only — same
+    deterministic bucket-bound estimator, O(1) extra work per observation.
     """
 
-    __slots__ = ("name", "bounds", "counts", "overflow", "count", "total", "min_value", "max_value")
+    __slots__ = (
+        "name", "bounds", "counts", "overflow", "count", "total", "min_value", "max_value",
+        "window_size", "_window", "_window_counts",
+    )
 
     def __init__(self, name: str, buckets: tuple[float, ...] = LATENCY_BUCKETS_SECONDS) -> None:
         if not buckets:
@@ -138,6 +150,28 @@ class Histogram:
         self.total = 0.0
         self.min_value = float("inf")
         self.max_value = float("-inf")
+        self.window_size = 0
+        self._window: deque[int] | None = None
+        self._window_counts: list[int] | None = None
+
+    def enable_window(self, size: int) -> None:
+        """Start (or keep) tracking a sliding window of the last ``size``
+        observations for :meth:`window_quantile`.  Idempotent for the same
+        size; two components demanding different windows on one histogram is
+        the same drift the bucket-conflict check rejects, and is an error.
+        Observations made before the call are not in the window."""
+        if size <= 0:
+            raise ValueError(f"histogram {self.name!r}: window size must be positive")
+        if self._window is not None:
+            if self.window_size != size:
+                raise ValueError(
+                    f"histogram {self.name!r} already has a window of {self.window_size}, "
+                    f"requested {size}"
+                )
+            return
+        self.window_size = size
+        self._window = deque()
+        self._window_counts = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -146,6 +180,11 @@ class Histogram:
             self.overflow += 1
         else:
             self.counts[index] += 1
+        if self._window is not None:
+            self._window.append(index)
+            self._window_counts[index] += 1
+            if len(self._window) > self.window_size:
+                self._window_counts[self._window.popleft()] -= 1
         self.count += 1
         self.total += value
         if value < self.min_value:
@@ -163,6 +202,12 @@ class Histogram:
         unlike :meth:`observe` they are used as-is (no ``float()`` coercion
         — the hot paths already hand in floats).
         """
+        if self._window is not None:
+            # Window maintenance needs the per-value deque rotation anyway,
+            # so the batched fast path buys nothing here.
+            for value in values:
+                self.observe(value)
+            return
         bounds = self.bounds
         counts = self.counts
         n_buckets = len(bounds)
@@ -208,7 +253,46 @@ class Histogram:
                 return bound
         return float(self.max_value)
 
+    def window_quantile(self, q: float) -> float:
+        """:meth:`quantile` over the last ``window_size`` observations only.
+
+        Same bucket-bound estimator; window observations that landed in the
+        overflow bucket report the histogram-lifetime maximum (the overflow
+        bucket has no upper bound and the window does not track its own
+        max).  0.0 while the window is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q!r} must be in [0, 1]")
+        if self._window is None:
+            raise ValueError(f"histogram {self.name!r}: call enable_window first")
+        window_count = len(self._window)
+        if window_count == 0:
+            return 0.0
+        rank = min(window_count, max(1, math.ceil(q * window_count)))
+        cumulative = 0
+        n_buckets = len(self.bounds)
+        for index, bucket_count in enumerate(self._window_counts):
+            cumulative += bucket_count
+            if cumulative >= rank:
+                if index == n_buckets:
+                    break
+                return self.bounds[index]
+        return float(self.max_value)
+
     def snapshot(self) -> dict[str, Any]:
+        if self._window is not None:
+            return {
+                **self._base_snapshot(),
+                "window": {
+                    "size": self.window_size,
+                    "count": len(self._window),
+                    "p50": self.window_quantile(0.50),
+                    "p99": self.window_quantile(0.99),
+                },
+            }
+        return self._base_snapshot()
+
+    def _base_snapshot(self) -> dict[str, Any]:
         return {
             "type": "histogram",
             "count": self.count,
@@ -341,9 +425,16 @@ class _NullInstrument:
     counts: list[int] = []
     min_value = 0.0
     mean = 0.0
+    window_size = 0
 
     def inc(self, amount: float | int = 1) -> None:
         pass
+
+    def enable_window(self, size: int) -> None:
+        pass
+
+    def window_quantile(self, q: float) -> float:
+        return 0.0
 
     def set(self, value: float | int) -> None:
         pass

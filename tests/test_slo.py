@@ -205,6 +205,53 @@ class TestAdmissionAtTheQueue:
         assert admission.requests_shed == 1
         assert "p99 update latency" in admission.violations(1, queue)[0]
 
+    def test_windowed_p99_recovers_after_quiet_traffic(self):
+        """Regression: the p99 policy used to read the lifetime histogram,
+        so one overload spike latched the controller into shedding forever.
+        The windowed default forgets the spike once quiet traffic refills
+        the window."""
+        registry = MetricsRegistry()
+        admission = AdmissionController(
+            SloPolicy(max_p99_update_delay=30.0, p99_window=64), registry=registry, mode="shed"
+        )
+        queue = MicroBatchQueue(
+            _EchoBackend(), max_batch_size=4, registry=registry, admission=admission
+        )
+        latency = registry.histogram("serving.update_latency_seconds")
+        for _ in range(64):
+            latency.observe(120.0)
+        queue.submit(0, None, 0)
+        assert admission.requests_shed == 1  # the spike is visible…
+        for _ in range(64):
+            latency.observe(1.0)
+        queue.submit(1, None, 1)
+        assert admission.requests_shed == 1  # …and forgotten once it drains.
+        assert admission.violations(2, queue) == []
+
+    def test_latched_p99_flag_restores_historical_behaviour(self):
+        registry = MetricsRegistry()
+        admission = AdmissionController(
+            SloPolicy(max_p99_update_delay=30.0, latched_p99=True),
+            registry=registry,
+            mode="shed",
+        )
+        queue = MicroBatchQueue(
+            _EchoBackend(), max_batch_size=4, registry=registry, admission=admission
+        )
+        latency = registry.histogram("serving.update_latency_seconds")
+        for _ in range(100):
+            latency.observe(120.0)
+        for _ in range(9000):
+            latency.observe(1.0)
+        # 100 slow observations still sit above the lifetime 99th percentile,
+        # so the latched controller keeps shedding long after the overload.
+        queue.submit(0, None, 0)
+        assert admission.requests_shed == 1
+
+    def test_p99_window_validated(self):
+        with pytest.raises(ValueError):
+            SloPolicy(p99_window=0)
+
 
 # ----------------------------------------------------------------------
 # Engine-level overload: the acceptance criteria, pinned without training.

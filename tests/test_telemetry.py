@@ -94,6 +94,34 @@ class TestInstruments:
         for q in (0.5, 0.9, 0.95, 0.99):
             assert reference.quantile(q) == shuffled.quantile(q)
 
+    def test_window_quantile_forgets_old_observations(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        histogram.enable_window(8)
+        for _ in range(8):
+            histogram.observe(50.0)
+        assert histogram.window_quantile(0.99) == 100.0
+        # Quiet traffic pushes the spike out of the window; the lifetime
+        # view stays latched high — that asymmetry is the whole point.
+        for _ in range(8):
+            histogram.observe(0.5)
+        assert histogram.window_quantile(0.99) == 1.0
+        assert histogram.quantile(0.99) == 100.0
+
+    def test_window_guards_and_snapshot(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        with pytest.raises(ValueError, match="enable_window"):
+            histogram.window_quantile(0.5)
+        histogram.enable_window(4)
+        histogram.enable_window(4)  # idempotent at the same size
+        with pytest.raises(ValueError):
+            histogram.enable_window(8)
+        with pytest.raises(ValueError):
+            Histogram("h2").enable_window(0)
+        assert histogram.window_quantile(0.99) == 0.0  # empty window
+        histogram.observe(2.0)
+        snapshot = histogram.snapshot()
+        assert snapshot["window"] == {"size": 4, "count": 1, "p50": 10.0, "p99": 10.0}
+
     def test_registry_get_or_create_and_kind_conflicts(self):
         registry = MetricsRegistry()
         counter = registry.counter("x")
