@@ -43,7 +43,7 @@ from dataclasses import dataclass, fields as dataclass_fields
 from pathlib import Path
 from typing import Any, Callable, Mapping
 
-from ..serving.engine import BACKEND_KINDS, EngineConfig
+from ..serving.engine import BACKEND_KINDS, STATE_LAYOUTS, EngineConfig
 from .results import ExperimentResult
 from .spec import ExperimentSpec, ParamSpec, SpecValidationError, get_spec
 
@@ -84,6 +84,7 @@ _ENGINE_FIELD_SPECS = {
     "store_name": ParamSpec("store_name", "str", default="engine"),
     "telemetry": ParamSpec("telemetry", "bool", default=True),
     "replication": ParamSpec("replication", "int", default=1, minimum=1),
+    "state_layout": ParamSpec("state_layout", "str", default="entries", choices=STATE_LAYOUTS),
     # failure_schedule is a nested list of (fire_at, action, shard_index)
     # triples — no ParamSpec kind models that, so validate_engine_block
     # shape-checks it by hand and EngineConfig.__post_init__ does the rest.

@@ -7,7 +7,7 @@ the pre-facade service constructors remain as deprecation shims.
 """
 
 # --- The facade (start here) -----------------------------------------
-from .engine import BACKEND_KINDS, Backend, EngineConfig, ServingEngine
+from .engine import BACKEND_KINDS, STATE_LAYOUTS, Backend, EngineConfig, ServingEngine
 
 # --- Engine components: queue, backends, request/response records -----
 from .batching import (
@@ -20,9 +20,10 @@ from .batching import (
 )
 from .services import AggregationFeatureService, HiddenStateService, ServingPrediction
 
-# --- Storage: metered KV store and the consistent-hash shard pool -----
+# --- Storage: metered KV store, state arena, consistent-hash pool -----
+from .arena import ArenaSpec, StateArena
 from .kvstore import KeyValueStore, KVStats
-from .router import ConsistentHashRing, ShardedKeyValueStore
+from .router import RING_COUNTER_FIELDS, ConsistentHashRing, ShardedKeyValueStore
 
 # --- Stream processing: session joins, timer waves, barriers ----------
 from .stream import StreamEvent, StreamProcessor, TimerFiring, TimerGroup
@@ -67,6 +68,7 @@ __all__ = [
     "EngineConfig",
     "Backend",
     "BACKEND_KINDS",
+    "STATE_LAYOUTS",
     # engine components
     "MicroBatchQueue",
     "BatchedHiddenStateBackend",
@@ -81,8 +83,11 @@ __all__ = [
     # storage
     "KeyValueStore",
     "KVStats",
+    "ArenaSpec",
+    "StateArena",
     "ConsistentHashRing",
     "ShardedKeyValueStore",
+    "RING_COUNTER_FIELDS",
     # stream
     "StreamEvent",
     "StreamProcessor",

@@ -53,6 +53,7 @@ from ..features.bucketing import log_bucket
 from ..features.pipeline import TabularFeaturizer
 from ..features.sequence import SequenceBuilder
 from ..models.rnn import RNNPrecomputeNetwork
+from .arena import ArenaSpec
 from .quantization import dequantize_state, quantize_state
 from .slo import AdmissionController
 from .stream import StreamEvent, StreamProcessor, TimerFiring
@@ -253,7 +254,24 @@ class BatchedHiddenStateBackend(SessionStreamMixin):
     GRU step.  The update kernels are batch-size invariant, so this is
     bit-identical to the per-timer path (``coalesce_updates=False``), which
     is kept as the seed-semantics baseline for the equivalence suites.
+
+    ``state_layout`` selects how state records are stored and moved:
+
+    * ``"entries"`` (default) — one record dict per key, loaded and saved
+      through a per-key loop (the historical layout).
+    * ``"arena"`` — the store hosts a contiguous
+      :class:`~repro.serving.arena.StateArena` slab per shard; a wave's
+      state load is one fancy-index gather and its save one fancy-index
+      scatter (:meth:`KeyValueStore.gather_states` /
+      :meth:`~repro.serving.kvstore.KeyValueStore.scatter_states`).
+
+    The two layouts are bit-identical in every observable — served
+    probabilities, stored records, traffic meters — pinned by
+    ``tests/test_state_arena.py``; the arena only removes Python loop and
+    record-object overhead from the wave hot path.
     """
+
+    STATE_PREFIX = "hidden:"
 
     def __init__(
         self,
@@ -266,9 +284,14 @@ class BatchedHiddenStateBackend(SessionStreamMixin):
         quantize: bool = False,
         extra_lag: int = 60,
         coalesce_updates: bool = True,
+        state_layout: str = "entries",
         registry: MetricsRegistry | None = None,
         server=None,
     ) -> None:
+        if state_layout not in ("entries", "arena"):
+            raise ValueError(
+                f"unknown state_layout {state_layout!r}; expected 'entries' or 'arena'"
+            )
         network.eval()
         self.network = network
         self.builder = builder
@@ -276,6 +299,21 @@ class BatchedHiddenStateBackend(SessionStreamMixin):
         self.session_length = session_length
         self.quantize = quantize
         self.extra_lag = extra_lag
+        self.state_layout = state_layout
+        if state_layout == "arena":
+            attach = getattr(store, "attach_state_arena", None)
+            if attach is None:
+                raise ValueError(
+                    f"state_layout='arena' needs a store with attach_state_arena; "
+                    f"{type(store).__name__} has none"
+                )
+            attach(
+                ArenaSpec(
+                    prefix=self.STATE_PREFIX,
+                    state_size=network.state_size,
+                    quantized=quantize,
+                )
+            )
         self._init_session_delivery(stream, coalesce_updates, registry=registry, server=server)
         self.predictions_served = 0
         self.updates_applied = 0
@@ -285,7 +323,7 @@ class BatchedHiddenStateBackend(SessionStreamMixin):
     # State records
     # ------------------------------------------------------------------
     def _state_key(self, user_id: int) -> str:
-        return f"hidden:{user_id}"
+        return f"{self.STATE_PREFIX}{user_id}"
 
     def _load_state(self, user_id: int) -> tuple[np.ndarray, int | None, int]:
         """Return (state vector, last update timestamp, bytes fetched)."""
@@ -310,24 +348,70 @@ class BatchedHiddenStateBackend(SessionStreamMixin):
         self.store.put(self._state_key(user_id), record, size_bytes=size)
 
     # ------------------------------------------------------------------
+    # Wave state movement (the layout switch lives here)
+    # ------------------------------------------------------------------
+    def _fetch_states(
+        self, user_ids: list[int], timestamps: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Load one wave of states: ``(float64 states, elapsed seconds, bytes)``.
+
+        ``elapsed`` is ``max(timestamp - last update, 0)`` per row (0 for
+        users with no stored state) — the gap/delta input both the predict
+        and update paths bucket.  Under the arena layout the whole wave is
+        one store gather; the entry layout keeps the per-key loop.  The two
+        are bit-identical: the arena gather upcasts the same float32 (or
+        dequantized int8) rows into the same float64 positions, and the
+        elapsed arithmetic is the same exact int64-difference-to-float path.
+        """
+        if self.state_layout == "arena":
+            keys = [self._state_key(user_id) for user_id in user_ids]
+            states, last_timestamps, present = self.store.gather_states(keys)
+            elapsed = np.where(
+                present,
+                np.maximum((timestamps - last_timestamps).astype(np.float64), 0.0),
+                0.0,
+            )
+            fetched = np.where(present, self._payload_bytes, 0).astype(np.int64)
+            return states, elapsed, fetched
+        states = np.empty((len(user_ids), self.network.state_size))
+        elapsed = np.zeros(len(user_ids))
+        fetched = np.zeros(len(user_ids), dtype=np.int64)
+        for row, user_id in enumerate(user_ids):
+            state, last_timestamp, size = self._load_state(user_id)
+            states[row] = state
+            fetched[row] = size
+            if last_timestamp is not None:
+                elapsed[row] = max(float(int(timestamps[row]) - last_timestamp), 0.0)
+        return states, elapsed, fetched
+
+    def _store_states(self, user_ids: list[int], states: np.ndarray, timestamps: np.ndarray) -> None:
+        """Save one wave of updated states (one scatter under the arena)."""
+        if self.state_layout == "arena":
+            keys = [self._state_key(user_id) for user_id in user_ids]
+            self.store.scatter_states(keys, states, timestamps)
+            return
+        for row, user_id in enumerate(user_ids):
+            self._save_state(user_id, states[row], int(timestamps[row]))
+
+    @property
+    def _payload_bytes(self) -> int:
+        """Per-record fetch bytes (stored state vector + 8-byte timestamp)."""
+        itemsize = 1 if self.quantize else 4
+        return self.network.state_size * itemsize + 8
+
+    # ------------------------------------------------------------------
     # Prediction hot path
     # ------------------------------------------------------------------
     def predict_batch(self, requests: list[ServingRequest]) -> list[ServingPrediction]:
         if not requests:
             return []
         config = self.network.config
-        states = np.empty((len(requests), self.network.state_size))
-        gaps = np.zeros(len(requests))
-        fetched = np.zeros(len(requests), dtype=np.int64)
-        for row, request in enumerate(requests):
-            state, last_timestamp, size = self._load_state(request.user_id)
-            states[row] = state
-            fetched[row] = size
-            if last_timestamp is not None:
-                gaps[row] = max(float(request.timestamp - last_timestamp), 0.0)
+        timestamps = np.asarray([request.timestamp for request in requests], dtype=np.int64)
+        states, gaps, fetched = self._fetch_states(
+            [request.user_id for request in requests], timestamps
+        )
         gap_buckets = np.asarray(log_bucket(gaps, n_buckets=config.n_delta_buckets)).reshape(-1)
         if config.predict_uses_context:
-            timestamps = np.asarray([request.timestamp for request in requests], dtype=np.int64)
             features = self.builder.encode_context_rows(
                 [request.context or {} for request in requests], timestamps
             )
@@ -393,24 +477,19 @@ class BatchedHiddenStateBackend(SessionStreamMixin):
 
     def _apply_distinct_users(self, wave: list[SessionUpdate], features: np.ndarray, accesses: np.ndarray) -> None:
         config = self.network.config
-        states = np.empty((len(wave), self.network.state_size))
-        deltas = np.zeros(len(wave))
-        for row, update in enumerate(wave):
-            state, last_timestamp, _ = self._load_state(update.user_id)
-            states[row] = state
-            if last_timestamp is not None:
-                deltas[row] = max(float(update.timestamp - last_timestamp), 0.0)
+        user_ids = [update.user_id for update in wave]
+        timestamps = np.asarray([update.timestamp for update in wave], dtype=np.int64)
+        states, deltas, _ = self._fetch_states(user_ids, timestamps)
         delta_buckets = np.asarray(log_bucket(deltas, n_buckets=config.n_delta_buckets)).reshape(-1)
         update_inputs = self.network.build_update_inputs(features, accesses, delta_buckets)
         new_states = self.network.update_hidden_batch(states, update_inputs)
-        for row, update in enumerate(wave):
-            self._save_state(update.user_id, new_states[row], update.timestamp)
+        self._store_states(user_ids, new_states, timestamps)
         self.updates_applied += len(wave)
 
     # ------------------------------------------------------------------
     @property
     def storage_bytes(self) -> int:
-        return self.store.bytes_for_prefix("hidden:")
+        return self.store.bytes_for_prefix(self.STATE_PREFIX)
 
 
 class BatchedAggregationBackend(SessionStreamMixin):

@@ -49,9 +49,22 @@ from .slo import AdmissionController, ServerModel, SloPolicy
 from .stream import StreamProcessor
 from .telemetry import NULL_REGISTRY, MetricsRegistry
 
-__all__ = ["Backend", "EngineConfig", "ServingEngine", "BACKEND_KINDS", "store_topology"]
+__all__ = [
+    "Backend",
+    "EngineConfig",
+    "ServingEngine",
+    "BACKEND_KINDS",
+    "STATE_LAYOUTS",
+    "store_topology",
+]
 
 BACKEND_KINDS = ("hidden_state", "aggregation")
+
+#: How the hidden-state backend stores per-user state: one record dict per
+#: key (``"entries"``, the historical layout) or a contiguous per-shard
+#: slab with fancy-index wave gather/scatter (``"arena"``).  Bit-identical
+#: by construction; the arena is the fast path.
+STATE_LAYOUTS = ("entries", "arena")
 
 
 def store_topology(store) -> tuple[int | None, int | None, str]:
@@ -138,6 +151,14 @@ class EngineConfig:
     which shards hold each key and what the traffic meters read, never a
     served value — a scheduled run is bit-identical to a fault-free one
     (pinned by ``tests/test_elastic_ring.py``).
+
+    ``state_layout`` (hidden-state backend only) selects the storage layout
+    for per-user state: ``"entries"`` keeps one record dict per key,
+    ``"arena"`` hosts a contiguous per-shard
+    :class:`~repro.serving.arena.StateArena` slab so a wave's state
+    load/save is two fancy-index ops.  Layout is bit-invisible to served
+    probabilities, stored records and traffic meters (pinned by
+    ``tests/test_state_arena.py``).
     """
 
     backend: str = "hidden_state"
@@ -154,6 +175,7 @@ class EngineConfig:
     telemetry: bool = True
     replication: int = 1
     failure_schedule: tuple[tuple[int, str, int], ...] | None = None
+    state_layout: str = "entries"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_KINDS:
@@ -217,6 +239,10 @@ class EngineConfig:
                         "a failure_schedule fires on the stream clock and needs the "
                         "deferred-update dataflow (hidden_state, or defer_updates=True)"
                     )
+        if self.state_layout not in STATE_LAYOUTS:
+            raise ValueError(
+                f"unknown state_layout {self.state_layout!r}; expected one of {STATE_LAYOUTS}"
+            )
         if self.backend == "hidden_state":
             if self.session_length is None:
                 raise ValueError("the hidden_state backend needs a session_length")
@@ -225,6 +251,11 @@ class EngineConfig:
         else:
             if self.quantize:
                 raise ValueError("quantization applies to hidden states, not aggregation history")
+            if self.state_layout != "entries":
+                raise ValueError(
+                    "state_layout applies to hidden states (a fixed-width slab row per "
+                    "user); aggregation history records are variable-length"
+                )
             if self.defer_updates and self.session_length is None:
                 raise ValueError("deferred aggregation updates need a session_length")
             if not self.defer_updates and self.coalescing_window > 0:
@@ -394,6 +425,7 @@ class ServingEngine:
                 quantize=config.quantize,
                 extra_lag=config.extra_lag,
                 coalesce_updates=config.coalesce_updates,
+                state_layout=config.state_layout,
                 registry=registry,
                 server=server,
             )

@@ -12,13 +12,20 @@ stored value so the serving cost model can report them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 import numpy as np
 
+from .arena import ArenaSpec, StateArena
 from .telemetry import NULL_REGISTRY, MetricsRegistry
 
 __all__ = ["KVStats", "KeyValueStore"]
+
+#: Sentinels.  ``_IN_ARENA`` is what ``_data`` holds for a key whose value
+#: lives in the attached :class:`StateArena` slab — key membership, sizes and
+#: metering stay in the store's own dicts, only the payload moves.
+_MISSING = object()
+_IN_ARENA = object()
 
 #: The KVStats counter fields, in snapshot order — shared by the legacy
 #: meters and their registry mirrors so the two can never disagree on shape.
@@ -87,6 +94,7 @@ class KeyValueStore:
         self.name = name
         self._data: dict[str, Any] = {}
         self._sizes: dict[str, int] = {}
+        self.arena: StateArena | None = None
         self.stats = KVStats()
         self.metrics = registry if registry is not None else NULL_REGISTRY
         self._counters = {
@@ -102,12 +110,51 @@ class KeyValueStore:
             counter.value = getattr(stats, field_name)
 
     # ------------------------------------------------------------------
+    # Arena hosting
+    # ------------------------------------------------------------------
+    def attach_state_arena(self, spec: ArenaSpec) -> StateArena:
+        """Host a :class:`StateArena` for records matching ``spec``.
+
+        Idempotent for an identical spec (backends attach on construction,
+        and several backends may share a store); a contradictory spec is a
+        hard error — one slab cannot hold two record shapes.  Existing
+        per-key records under the prefix are left in place: reads keep
+        finding them, and the next write of each key absorbs it into the
+        slab.
+        """
+        if self.arena is not None:
+            if self.arena.spec != spec:
+                raise ValueError(
+                    f"store {self.name!r} already hosts an arena with spec "
+                    f"{self.arena.spec}, cannot attach {spec}"
+                )
+            return self.arena
+        self.arena = StateArena(spec)
+        return self.arena
+
+    def _materialize(self, value: Any, key: str) -> Any:
+        return self.arena.record(key) if value is _IN_ARENA else value
+
+    def _store(self, key: str, value: Any, size: int) -> None:
+        """Shared unmetered write: route record-shaped values into the arena."""
+        arena = self.arena
+        if arena is not None:
+            if arena.accepts(key, value):
+                arena.ingest(key, value)
+                value = _IN_ARENA
+            elif self._data.get(key) is _IN_ARENA:
+                arena.discard(key)
+        self._data[key] = value
+        self._sizes[key] = size
+
+    # ------------------------------------------------------------------
     def get(self, key: str, default: Any = None) -> Any:
         self.stats.gets += 1
-        if key in self._data:
+        value = self._data.get(key, _MISSING)
+        if value is not _MISSING:
             self.stats.hits += 1
             self.stats.bytes_read += self._sizes[key]
-            return self._data[key]
+            return self._materialize(value, key)
         self.stats.misses += 1
         return default
 
@@ -115,16 +162,134 @@ class KeyValueStore:
         size = size_bytes if size_bytes is not None else _estimate_size(value)
         self.stats.puts += 1
         self.stats.bytes_written += size
-        self._data[key] = value
-        self._sizes[key] = size
+        self._store(key, value, size)
 
     def delete(self, key: str) -> bool:
         self.stats.deletes += 1
-        if key in self._data:
-            del self._data[key]
+        value = self._data.pop(key, _MISSING)
+        if value is not _MISSING:
             del self._sizes[key]
+            if value is _IN_ARENA:
+                self.arena.discard(key)
             return True
         return False
+
+    # ------------------------------------------------------------------
+    # Batch APIs: bit- and meter-identical to the equivalent loops
+    # ------------------------------------------------------------------
+    def get_many(self, keys: list[str], default: Any = None) -> list[Any]:
+        """``[self.get(key, default) for key in keys]`` in one call.
+
+        Counters are additive, so metering the batch in one pass reads
+        exactly like the loop (pinned by ``tests/test_batch_kv.py``).
+        """
+        values: list[Any] = []
+        hits = 0
+        bytes_read = 0
+        for key in keys:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                values.append(default)
+            else:
+                hits += 1
+                bytes_read += self._sizes[key]
+                values.append(self._materialize(value, key))
+        stats = self.stats
+        stats.gets += len(keys)
+        stats.hits += hits
+        stats.misses += len(keys) - hits
+        stats.bytes_read += bytes_read
+        return values
+
+    def put_many(self, items: Iterable[tuple[str, Any, int | None]]) -> None:
+        """Apply ``(key, value, size_bytes)`` writes; the looped equivalent
+        of calling :meth:`put` per item, with one meter update."""
+        count = 0
+        bytes_written = 0
+        for key, value, size_bytes in items:
+            size = size_bytes if size_bytes is not None else _estimate_size(value)
+            count += 1
+            bytes_written += size
+            self._store(key, value, size)
+        self.stats.puts += count
+        self.stats.bytes_written += bytes_written
+
+    # ------------------------------------------------------------------
+    # Vectorized state waves (requires an attached arena)
+    # ------------------------------------------------------------------
+    def gather_states(self, keys: list[str]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized state read: ``(float64 states, int64 timestamps, present)``.
+
+        Meters exactly like one :meth:`get` per key.  Missing keys read as
+        zero states with ``present=False``; keys whose value still lives as
+        a per-key record (written before the arena attached, or oddly
+        shaped) decode through the record path, so mixed storage stays
+        correct.
+        """
+        arena = self.arena
+        if arena is None:
+            raise RuntimeError(f"store {self.name!r} has no state arena attached")
+        spec = arena.spec
+        n = len(keys)
+        states = np.zeros((n, spec.state_size), dtype=np.float64)
+        timestamps = np.zeros(n, dtype=np.int64)
+        present = np.zeros(n, dtype=bool)
+        arena_rows: list[int] = []
+        arena_positions: list[int] = []
+        stray: list[tuple[int, dict[str, Any]]] = []
+        hits = 0
+        bytes_read = 0
+        for position, key in enumerate(keys):
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                continue
+            hits += 1
+            bytes_read += self._sizes[key]
+            present[position] = True
+            if value is _IN_ARENA:
+                arena_positions.append(position)
+                arena_rows.append(arena.row_of(key))
+            else:
+                stray.append((position, value))
+        stats = self.stats
+        stats.gets += n
+        stats.hits += hits
+        stats.misses += n - hits
+        stats.bytes_read += bytes_read
+        if arena_positions:
+            positions = np.asarray(arena_positions, dtype=np.intp)
+            rows = np.asarray(arena_rows, dtype=np.intp)
+            gathered, row_timestamps = arena.gather(rows)
+            states[positions] = gathered
+            timestamps[positions] = row_timestamps
+        for position, record in stray:
+            stored = np.asarray(record["state"], dtype=np.float64)
+            if spec.quantized:
+                stored = stored * float(record["scale"])
+            states[position] = stored
+            timestamps[position] = record["timestamp"]
+        return states, timestamps, present
+
+    def scatter_states(self, keys: list[str], states: np.ndarray, timestamps: np.ndarray) -> None:
+        """Vectorized state write: one slab scatter for the whole wave.
+
+        Meters exactly like one :meth:`put` of a fresh record per key (size
+        = the spec's per-record bytes, the same value the per-key save path
+        computes).  Duplicate keys behave like sequential puts (last wins).
+        """
+        arena = self.arena
+        if arena is None:
+            raise RuntimeError(f"store {self.name!r} has no state arena attached")
+        rows = arena.assign_rows(keys)
+        arena.scatter(rows, states, timestamps)
+        size = arena.spec.record_bytes
+        data = self._data
+        sizes = self._sizes
+        for key in keys:
+            data[key] = _IN_ARENA
+            sizes[key] = size
+        self.stats.puts += len(keys)
+        self.stats.bytes_written += len(keys) * size
 
     def contains(self, key: str) -> bool:
         return key in self._data
@@ -144,12 +309,29 @@ class KeyValueStore:
         without charging a phantom read."""
         return self._sizes.get(key, 0)
 
+    def peek(self, key: str, default: Any = None) -> Any:
+        """Unmetered read.  The replica pool uses it for read-repair and
+        re-hydration copies, which are infrastructure traffic — they are
+        accounted under the pool's ``ring.repair_*`` meters, not billed as
+        client reads."""
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        return self._materialize(value, key)
+
+    def put_unmetered(self, key: str, value: Any, size_bytes: int) -> None:
+        """Unmetered write (the repair counterpart of :meth:`peek`): stores
+        the value and its size without touching the client traffic meters."""
+        self._store(key, value, size_bytes)
+
     def clear(self) -> None:
         """Drop every stored value, keeping the traffic meters.  Models a
         crash that loses a shard's *state* — the requests it already served
         still happened."""
         self._data.clear()
         self._sizes.clear()
+        if self.arena is not None:
+            self.arena.clear()
 
     # ------------------------------------------------------------------
     @property

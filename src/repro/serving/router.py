@@ -41,7 +41,9 @@ from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
+
+import numpy as np
 
 from .cost import CostParameters, kv_traffic_cost
 from .kvstore import KV_COUNTER_FIELDS, KeyValueStore, KVStats
@@ -51,12 +53,20 @@ __all__ = ["ConsistentHashRing", "ShardedKeyValueStore", "RING_COUNTER_FIELDS"]
 
 #: The elastic-pool meters, in registry order — each surfaces as a counter
 #: named ``ring.<pool name>.<field>`` through the same lazy sync-hook
-#: machinery the per-shard ``kv.*`` counters use.
+#: machinery the per-shard ``kv.*`` counters use.  The ``repair_*`` fields
+#: carry read-repair / re-hydration traffic: infrastructure copies that do
+#: NOT appear in the per-shard ``kv.*`` client counters (and therefore stay
+#: out of ``cost_report`` / ``registry_traffic_cost``, which bill client
+#: traffic only).
 RING_COUNTER_FIELDS = (
     "keys_migrated",
     "migration_bytes",
     "keys_rehydrated",
     "rehydration_bytes",
+    "repair_gets",
+    "repair_puts",
+    "repair_bytes_read",
+    "repair_bytes_written",
     "shard_failures",
     "shard_recoveries",
     "membership_changes",
@@ -231,9 +241,16 @@ class ShardedKeyValueStore:
         self.migration_bytes = 0
         self.keys_rehydrated = 0
         self.rehydration_bytes = 0
+        self.repair_gets = 0
+        self.repair_puts = 0
+        self.repair_bytes_read = 0
+        self.repair_bytes_written = 0
         self.shard_failures = 0
         self.shard_recoveries = 0
         self.membership_changes = 0
+        # Arena spec, when a backend attaches one: new shards created by
+        # add_shard host the same slab layout as the founding pool.
+        self._arena_spec = None
         self._ring_counters = {
             field_name: self.metrics.counter(f"ring.{name}.{field_name}")
             for field_name in RING_COUNTER_FIELDS
@@ -275,8 +292,53 @@ class ShardedKeyValueStore:
         return tuple(sorted(self._failed))
 
     # ------------------------------------------------------------------
+    # State arena hosting
+    # ------------------------------------------------------------------
+    def attach_state_arena(self, spec) -> None:
+        """Host a per-shard :class:`~repro.serving.arena.StateArena` on every
+        shard (current and future — ``add_shard`` attaches the same spec).
+        Idempotent for an identical spec, like the per-store attach."""
+        if self._arena_spec is not None and self._arena_spec != spec:
+            raise ValueError(
+                f"pool {self.name!r} already hosts arenas with spec "
+                f"{self._arena_spec}, cannot attach {spec}"
+            )
+        self._arena_spec = spec
+        for shard in self.shards:
+            shard.attach_state_arena(spec)
+
+    # ------------------------------------------------------------------
     # KeyValueStore-compatible operations
     # ------------------------------------------------------------------
+    def _repair_copy(self, target_name: str, key: str, value: Any, size: int, version: int) -> None:
+        """Bring one stale/missing replica current.
+
+        Repair writes are infrastructure traffic, not client traffic: the
+        copy lands through the shard's unmetered write path and is accounted
+        under the pool's ``ring.repair_*`` meters (mirrored into the metrics
+        plane), so ``cost_report`` / ``registry_traffic_cost`` — which bill
+        the ``kv.*`` client counters — never see it.  ``keys_rehydrated`` /
+        ``rehydration_bytes`` keep their historical meaning (how much state
+        repair restored).
+        """
+        self._by_name[target_name].put_unmetered(key, value, size_bytes=size)
+        self._shard_versions[target_name][key] = version
+        self.keys_rehydrated += 1
+        self.rehydration_bytes += size
+        self.repair_puts += 1
+        self.repair_bytes_written += size
+
+    def _source_name(self, key: str, live: list[str], version: int) -> str:
+        source_name = next(
+            (name for name in live if self._shard_versions[name].get(key) == version), None
+        )
+        if source_name is None:
+            raise RuntimeError(
+                f"no live replica holds the current version of {key!r} "
+                "(the fail-shard guard should make this unreachable)"
+            )
+        return source_name
+
     def get(self, key: str, default: Any = None) -> Any:
         if self.replication == 1:
             return self._by_name[self._ring.node_for(key)].get(key, default)
@@ -286,25 +348,14 @@ class ShardedKeyValueStore:
             # Never written (or deleted): meter the miss where the primary
             # live owner would have served it.
             return self._by_name[live[0]].get(key, default)
-        source_name = next(
-            (name for name in live if self._shard_versions[name].get(key) == version), None
-        )
-        if source_name is None:
-            raise RuntimeError(
-                f"no live replica holds the current version of {key!r} "
-                "(the fail-shard guard should make this unreachable)"
-            )
-        source = self._by_name[source_name]
+        source = self._by_name[self._source_name(key, live, version)]
         value = source.get(key)
         size = source.size_of(key)
         for name in live:
             if self._shard_versions[name].get(key) == version:
                 continue
             # Read-repair: bring the stale/missing live replica current.
-            self._by_name[name].put(key, value, size_bytes=size)
-            self._shard_versions[name][key] = version
-            self.keys_rehydrated += 1
-            self.rehydration_bytes += size
+            self._repair_copy(name, key, value, size, version)
         return value
 
     def put(self, key: str, value: Any, size_bytes: int | None = None) -> None:
@@ -316,6 +367,137 @@ class ShardedKeyValueStore:
         for name in self._live_owners(key):
             self._by_name[name].put(key, value, size_bytes=size_bytes)
             self._shard_versions[name][key] = version
+
+    # ------------------------------------------------------------------
+    # Batch APIs: route once per shard, meter identically to the loops
+    # ------------------------------------------------------------------
+    def _group_reads(self, keys: list[str]) -> dict[str, list[int]]:
+        """Positions of ``keys`` grouped by the shard that serves each read:
+        the primary owner at r=1, the version-current source replica (with
+        read-repair of any stale live owner) above that."""
+        groups: dict[str, list[int]] = {}
+        if self.replication == 1:
+            for position, key in enumerate(keys):
+                groups.setdefault(self._ring.node_for(key), []).append(position)
+            return groups
+        for position, key in enumerate(keys):
+            live = self._live_owners(key)
+            version = self._versions.get(key)
+            if version is None:
+                groups.setdefault(live[0], []).append(position)
+            else:
+                groups.setdefault(self._source_name(key, live, version), []).append(position)
+        return groups
+
+    def _repair_after_read(self, key: str, source_name: str) -> None:
+        """Read-repair ``key``'s stale live owners after a batched read.
+
+        The value comes from the source shard's unmetered ``peek`` — the
+        client's metered read already happened inside the batched call, and
+        the copy itself is repair traffic.
+        """
+        version = self._versions.get(key)
+        if version is None:
+            return
+        live = self._live_owners(key)
+        stale = [name for name in live if self._shard_versions[name].get(key) != version]
+        if not stale:
+            return
+        source = self._by_name[source_name]
+        value = source.peek(key)
+        size = source.size_of(key)
+        for name in stale:
+            self._repair_copy(name, key, value, size, version)
+
+    def get_many(self, keys: list[str], default: Any = None) -> list[Any]:
+        """``[self.get(key, default) for key in keys]`` with per-shard batching.
+
+        Keys are grouped by serving shard and fetched with one
+        :meth:`KeyValueStore.get_many` per shard; read-repair fires for the
+        same keys the looped path would repair.  Counters are additive, so
+        every shard's meters — and the pool rollup — read exactly like the
+        loop (pinned by ``tests/test_batch_kv.py``).
+        """
+        values: list[Any] = [default] * len(keys)
+        for name, positions in self._group_reads(keys).items():
+            shard_values = self._by_name[name].get_many([keys[p] for p in positions], default)
+            for position, value in zip(positions, shard_values):
+                values[position] = value
+            if self.replication > 1:
+                for position in positions:
+                    self._repair_after_read(keys[position], name)
+        return values
+
+    def put_many(self, items: Iterable[tuple[str, Any, int | None]]) -> None:
+        """Apply ``(key, value, size_bytes)`` writes with per-shard batching;
+        replication fans each item out to every live owner, bumping the
+        version sidecar exactly as the looped :meth:`put` path does."""
+        groups: dict[str, list[tuple[str, Any, int | None]]] = {}
+        if self.replication == 1:
+            for key, value, size_bytes in items:
+                groups.setdefault(self._ring.node_for(key), []).append((key, value, size_bytes))
+        else:
+            for key, value, size_bytes in items:
+                version = self._versions.get(key, 0) + 1
+                self._versions[key] = version
+                for name in self._live_owners(key):
+                    groups.setdefault(name, []).append((key, value, size_bytes))
+                    self._shard_versions[name][key] = version
+        for name, shard_items in groups.items():
+            self._by_name[name].put_many(shard_items)
+
+    # ------------------------------------------------------------------
+    # Vectorized state waves (requires attached arenas)
+    # ------------------------------------------------------------------
+    def gather_states(self, keys: list[str]):
+        """Pool-wide vectorized state read: one slab gather per shard.
+
+        Same contract as :meth:`KeyValueStore.gather_states` —
+        ``(float64 states, int64 timestamps, present)`` — with replication's
+        version-current source selection and read-repair preserved.
+        """
+        if self._arena_spec is None:
+            raise RuntimeError(f"pool {self.name!r} has no state arena attached")
+        n = len(keys)
+        states = np.zeros((n, self._arena_spec.state_size), dtype=np.float64)
+        timestamps = np.zeros(n, dtype=np.int64)
+        present = np.zeros(n, dtype=bool)
+        for name, positions in self._group_reads(keys).items():
+            shard_states, shard_timestamps, shard_present = self._by_name[name].gather_states(
+                [keys[p] for p in positions]
+            )
+            index = np.asarray(positions, dtype=np.intp)
+            states[index] = shard_states
+            timestamps[index] = shard_timestamps
+            present[index] = shard_present
+            if self.replication > 1:
+                for position in positions:
+                    self._repair_after_read(keys[position], name)
+        return states, timestamps, present
+
+    def scatter_states(self, keys: list[str], states, timestamps) -> None:
+        """Pool-wide vectorized state write: one slab scatter per shard,
+        fanned out to every live owner under replication (each owner encodes
+        the same float64 rows, so the replicas are bit-equal copies)."""
+        if self._arena_spec is None:
+            raise RuntimeError(f"pool {self.name!r} has no state arena attached")
+        groups: dict[str, list[int]] = {}
+        if self.replication == 1:
+            for position, key in enumerate(keys):
+                groups.setdefault(self._ring.node_for(key), []).append(position)
+        else:
+            for position, key in enumerate(keys):
+                version = self._versions.get(key, 0) + 1
+                self._versions[key] = version
+                for name in self._live_owners(key):
+                    groups.setdefault(name, []).append(position)
+                    self._shard_versions[name][key] = version
+        timestamps = np.asarray(timestamps, dtype=np.int64)
+        for name, positions in groups.items():
+            index = np.asarray(positions, dtype=np.intp)
+            self._by_name[name].scatter_states(
+                [keys[p] for p in positions], states[index], timestamps[index]
+            )
 
     def delete(self, key: str) -> bool:
         if self.replication == 1:
@@ -432,6 +614,8 @@ class ShardedKeyValueStore:
         name = f"{self.name}/shard{self._next_shard_id}"
         before = self._ownership_snapshot()
         shard = KeyValueStore(name, registry=self._registry)
+        if self._arena_spec is not None:
+            shard.attach_state_arena(self._arena_spec)
         self._next_shard_id += 1
         self.shards.append(shard)
         self._by_name[name] = shard
@@ -514,6 +698,11 @@ class ShardedKeyValueStore:
         fan-out empty and read-repair restores keys on access — cheaper up
         front, but another failure before repair completes can orphan keys,
         so eager re-hydration is the default.
+
+        Re-hydration copies are repair traffic: the source reads and target
+        writes are metered under ``ring.repair_*`` (plus the historical
+        ``keys_rehydrated``/``rehydration_bytes``), never under the shards'
+        ``kv.*`` client counters.
         """
         if name not in self._failed:
             raise ValueError(f"shard {name!r} is not failed")
@@ -521,7 +710,6 @@ class ShardedKeyValueStore:
         self.shard_recoveries += 1
         if not rehydrate:
             return
-        shard = self._by_name[name]
         for key, version in self._versions.items():
             owners = self.owner_names(key)
             if name not in owners or self._shard_versions[name].get(key) == version:
@@ -541,12 +729,11 @@ class ShardedKeyValueStore:
                     f"no live replica holds the current version of {key!r} during recovery"
                 )
             source = self._by_name[source_name]
-            value = source.get(key)
+            value = source.peek(key)
             size = source.size_of(key)
-            shard.put(key, value, size_bytes=size)
-            self._shard_versions[name][key] = version
-            self.keys_rehydrated += 1
-            self.rehydration_bytes += size
+            self.repair_gets += 1
+            self.repair_bytes_read += size
+            self._repair_copy(name, key, value, size, version)
 
     # ------------------------------------------------------------------
     # Metering rollup
@@ -596,19 +783,71 @@ class ShardedKeyValueStore:
         """Physical storage footprint (replicated copies each count)."""
         return sum(shard.total_bytes for shard in self.shards)
 
+    def _logical_size(self, key: str) -> int:
+        """Recorded size of ``key``'s value, counted once (from the first
+        live owner holding the current version — replicas are bit-equal
+        copies, so any current one carries the authoritative size)."""
+        version = self._versions.get(key)
+        for name in self.owner_names(key):
+            if name in self._failed:
+                continue
+            if self._shard_versions[name].get(key) == version:
+                return self._by_name[name].size_of(key)
+        return 0
+
+    @property
+    def logical_total_bytes(self) -> int:
+        """Storage footprint counting each key once, however many replicas
+        hold it — the per-user number the paper's ~512 B/user figure is
+        about.  Equals :attr:`total_bytes` at ``replication=1``."""
+        if self.replication == 1:
+            return self.total_bytes
+        return sum(self._logical_size(key) for key in self._versions)
+
     def bytes_for_prefix(self, prefix: str) -> int:
+        """Logical bytes stored under ``prefix`` (each key once).
+
+        This is what backend ``storage_bytes`` reports, so replication no
+        longer inflates the per-user footprint by ``r``; the physical sum
+        across replicas is :meth:`physical_bytes_for_prefix`.
+        """
+        if self.replication == 1:
+            return sum(shard.bytes_for_prefix(prefix) for shard in self.shards)
+        return sum(
+            self._logical_size(key) for key in self._versions if key.startswith(prefix)
+        )
+
+    def physical_bytes_for_prefix(self, prefix: str) -> int:
+        """Bytes stored under ``prefix`` across every replica copy."""
         return sum(shard.bytes_for_prefix(prefix) for shard in self.shards)
 
-    def shard_snapshots(self) -> list[dict[str, int]]:
-        """Per-shard meters: traffic counters plus storage footprint."""
+    def shard_snapshots(self) -> list[dict[str, int | bool]]:
+        """Per-shard meters: traffic counters, storage footprint and whether
+        the shard is currently failed (wiped and out of the fan-out)."""
         return [
-            {"shard": index, "n_keys": shard.n_keys, "storage_bytes": shard.total_bytes, **shard.stats.snapshot()}
+            {
+                "shard": index,
+                "n_keys": shard.n_keys,
+                "storage_bytes": shard.total_bytes,
+                "failed": shard.name in self._failed,
+                **shard.stats.snapshot(),
+            }
             for index, shard in enumerate(self.shards)
         ]
 
     def load_imbalance(self) -> float:
-        """Max-over-mean shard key count (1.0 = perfectly balanced)."""
-        counts = [shard.n_keys for shard in self.shards]
+        """Max-over-mean key count across *live* shards (1.0 = balanced).
+
+        Failed shards are wiped, so counting them would drag the mean down
+        and overstate imbalance exactly when balance matters most — during
+        a failover window.  With every shard failed (impossible under the
+        fail-shard guard, but cheap to define) the pool reports 1.0.
+        """
+        counts = [
+            shard.n_keys for shard in self.shards if shard.name not in self._failed
+        ]
+        if not counts:
+            return 1.0
         mean = sum(counts) / len(counts)
         if mean == 0:
             return 1.0
@@ -620,12 +859,17 @@ class ShardedKeyValueStore:
         Uses the same :class:`~repro.serving.cost.CostParameters` charges as
         the analytic model, so the pool total is directly comparable to
         :func:`~repro.serving.cost.estimate_serving_costs` outputs.
+        ``storage_bytes`` is the logical (per-key-once) footprint the paper's
+        per-user numbers are about; ``physical_storage_bytes`` is the raw
+        replica-multiplied sum.  Repair traffic is not billed — it lives on
+        the ``ring.repair_*`` meters, not the shards' client counters.
         """
         params = parameters or CostParameters()
         per_shard = [kv_traffic_cost(shard.stats, params) for shard in self.shards]
         return {
             "per_shard": per_shard,
             "total": sum(per_shard),
-            "storage_bytes": self.total_bytes,
+            "storage_bytes": self.logical_total_bytes,
+            "physical_storage_bytes": self.total_bytes,
             "load_imbalance": round(self.load_imbalance(), 4),
         }
