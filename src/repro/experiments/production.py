@@ -40,6 +40,9 @@ from ..serving import (
     CostParameters,
     EngineConfig,
     MicroBatchQueue,
+    DIVERGENCE_BUCKETS,
+    ModelRegistry,
+    ModelVersion,
     OnlineExperiment,
     ServerModel,
     ServingEngine,
@@ -60,7 +63,11 @@ __all__ = ["run_online_prefetch", "run_serving_cost", "run_training_throughput",
 #: EngineConfig fields a ``batched_serving`` engine block must not set:
 #: the first four are derived per replayed pipeline (the batch-size/window
 #: sweep loop); ``defer_updates``/``history_window`` have no effect on the
-#: hidden-state dataflow and would pollute provenance if accepted.
+#: hidden-state dataflow and would pollute provenance if accepted;
+#: ``failure_schedule``/``model``/``rollout`` are derived internally by the
+#: scenarios that exercise them (``shard_failover``, ``canary_rollout``) —
+#: their timings depend on the generated arrival stream and their version
+#: names on the registry the scenario builds.
 ENGINE_OWNED_FIELDS = (
     "max_batch_size",
     "coalescing_window",
@@ -69,6 +76,8 @@ ENGINE_OWNED_FIELDS = (
     "defer_updates",
     "history_window",
     "failure_schedule",
+    "model",
+    "rollout",
 )
 
 
@@ -302,6 +311,7 @@ OVERLOAD_SCENARIOS = ("overload", "slo_sweep")
                 "slo_sweep",
                 "shard_failover",
                 "diurnal_rebalance",
+                "canary_rollout",
             ),
         ),
         ParamSpec(
@@ -430,6 +440,18 @@ def run_batched_serving(
     (``ring.keys_migrated``, ``ring.rehydration_bytes``, …) that are
     allowed to differ.
 
+    The ``canary_rollout`` scenario exercises the model-lifecycle subsystem
+    end to end: a two-version :class:`~repro.serving.registry.ModelRegistry`
+    (the trained network and a perturbed candidate) drives one arm whose
+    canary schedule trips a ``max_divergence`` gate mid-stream — asserted
+    bit-identical to a registry-free baseline in predictions, control-
+    namespace state and pool client meters despite the candidate shadow-
+    scoring every micro-batch — and one arm whose schedule hot-swaps the
+    candidate at 100%, asserted bit-identical post-swap to an engine built
+    directly on the candidate's bits.  The rows report the shadow/canary
+    meters (``shadow_scored``, ``canary_assigned``, ``divergence_p99``) and
+    each arm's stage history.
+
     ``via_engine=True`` builds each pipeline through the
     :class:`~repro.serving.engine.ServingEngine` facade instead of
     hand-wiring backend + queue; the two constructions are pinned
@@ -453,10 +475,18 @@ def run_batched_serving(
         raise ValueError("at least one scenario is required")
     unknown = set(scenarios) - {
         "poisson", "bursty", "window_sweep", "overload", "slo_sweep",
-        "shard_failover", "diurnal_rebalance",
+        "shard_failover", "diurnal_rebalance", "canary_rollout",
     }
     if unknown:
         raise ValueError(f"unknown scenarios: {sorted(unknown)}")
+    if "canary_rollout" in scenarios:
+        if n_requests < 3:
+            raise ValueError(
+                "canary_rollout schedules its stage timers across the arrival span "
+                "and needs n_requests >= 3"
+            )
+        if replication > n_shards:
+            raise ValueError(f"replication {replication} exceeds n_shards {n_shards}")
     elastic = set(scenarios) & {"shard_failover", "diurnal_rebalance"}
     if elastic:
         if replication > n_shards:
@@ -547,9 +577,10 @@ def run_batched_serving(
                 rng, 0, n_requests, overload_base_rate, overload_peak_rate
             )
             continue
-        if scenario in ("poisson", "shard_failover"):
-            # shard_failover reuses the Poisson shape: faults are injected on
-            # the clock, so the arrival process itself stays the baseline one.
+        if scenario in ("poisson", "shard_failover", "canary_rollout"):
+            # shard_failover and canary_rollout reuse the Poisson shape:
+            # faults and stage transitions are injected on the clock, so the
+            # arrival process itself stays the baseline one.
             offsets = _poisson_arrivals(rng, 0, n_requests, arrival_rate)
         else:
             # "bursty", "window_sweep" and "diurnal_rebalance" share the
@@ -882,6 +913,191 @@ def run_batched_serving(
         elastic.close()
         return measured
 
+    def run_canary_replay(scenario: str, requests, batch_size: int) -> dict:
+        """Model-lifecycle arms over the identical Poisson stream.
+
+        A two-version registry is built from the trained network: ``control``
+        (its exact bits) and ``candidate`` (the same architecture with
+        perturbed weights — a genuinely different model, so the arms measure
+        real divergence).  Four engines replay the same requests:
+
+        * ``static`` — registry-free baseline.
+        * ``shadow`` — control model with the candidate in shadow and a
+          canary schedule whose mid-stream stage trips a ``max_divergence``
+          gate, rolling the candidate back.  The run *asserts* this arm's
+          predictions, control-namespace state and pool client meters are
+          bit-identical to the baseline (the headline rollout invariant),
+          and that the shadow namespace actually holds state.
+        * ``promote`` — a gate-free schedule ending in a 100% hot swap.
+        * ``direct`` — registry-free engine built on the candidate's bits;
+          the run asserts every post-swap prediction of the promote arm
+          matches this arm bit for bit.
+        """
+        t0 = int(requests[0][0])
+        span = int(requests[-1][0] - requests[0][0])
+        if span < 3:
+            raise ValueError(
+                "canary_rollout needs an arrival span of at least 3 simulated seconds "
+                "to order its stage timers — raise n_requests or lower arrival_rate"
+            )
+        control_version = ModelVersion.from_network("control", rnn.network)
+        perturb = np.random.default_rng(seed + 31)
+        candidate_version = ModelVersion(
+            "candidate",
+            control_version.config,
+            {
+                name: array + 0.05 * perturb.standard_normal(array.shape)
+                for name, array in rnn.network.state_dict().items()
+            },
+        )
+        models = ModelRegistry([control_version, candidate_version]).freeze()
+
+        def build(tag: str, *, model=None, rollout=None, network=None) -> ServingEngine:
+            return ServingEngine.build(
+                EngineConfig(
+                    backend="hidden_state",
+                    max_batch_size=batch_size,
+                    n_shards=n_shards,
+                    session_length=dataset.session_length,
+                    coalesce_updates=batch_size > 1,
+                    store_name=f"rnn-{scenario}-b{batch_size}-{tag}",
+                    replication=replication,
+                    model=model,
+                    rollout=rollout,
+                    **engine_overrides,
+                ),
+                network=network,
+                builder=rnn.builder,
+                models=models if model is not None else None,
+            )
+
+        def drive(engine: ServingEngine) -> list:
+            backend = engine.backend
+            backend.apply_wave(
+                [
+                    SessionUpdate(
+                        user_id=user.user_id,
+                        timestamp=start - 3600,
+                        context=user.context_row(0),
+                        accessed=True,
+                    )
+                    for user in active_users
+                ]
+            )
+            engine.store.reset_stats()
+            warm_updates = backend.updates_applied
+            served = []
+            for arrival, user_id, context, accessed in requests:
+                served += engine.advance_to(arrival)
+                served += engine.submit(user_id, context, arrival)
+                engine.observe_session(user_id, context, arrival, accessed)
+            served += engine.flush()
+            engine.stream.flush()
+            served += engine.drain_completed()
+            assert backend.updates_applied - warm_updates == n_requests
+            return served
+
+        baseline = build("static", network=rnn.network)
+        baseline_served = drive(baseline)
+
+        # Rollback arm.  The first stage fires before the first arrival (the
+        # divergence histogram is still empty, so the transition passes); the
+        # mid-stream stage sees real divergence from the perturbed candidate
+        # and trips the gate.
+        shadowed = build(
+            "shadow",
+            model="control",
+            rollout={
+                "candidate": "candidate",
+                "stages": ((t0 - 1, 5), (t0 + span // 2, 50)),
+                "gates": {"max_divergence": 1e-6},
+            },
+        )
+        shadowed_served = drive(shadowed)
+        controller = shadowed.rollout
+        if not controller.rolled_back:
+            raise AssertionError(
+                "canary_rollout: the divergence gate never tripped — no micro-batch was "
+                "scored before the mid-stream stage (widen the stream or raise arrival_rate)"
+            )
+        if [p.probability for p in shadowed_served] != [p.probability for p in baseline_served]:
+            raise AssertionError(
+                "canary_rollout: shadow scoring + rollback changed the control arm's predictions"
+            )
+        if shadowed.store.stats.snapshot() != baseline.store.stats.snapshot():
+            raise AssertionError(
+                "canary_rollout: shadow traffic leaked into the pool's client meters"
+            )
+        shadow_keys = [
+            key for key in shadowed.store.keys() if key.startswith("candidate:hidden:")
+        ]
+        if not shadow_keys:
+            raise AssertionError("canary_rollout: the shadow arm stored no state")
+        baseline_state = {key: baseline.store.peek(key) for key in sorted(baseline.store.keys())}
+        control_state = {
+            key: shadowed.store.peek(key)
+            for key in sorted(shadowed.store.keys())
+            if not key.startswith("candidate:")
+        }
+        if not _stored_equal(baseline_state, control_state):
+            raise AssertionError(
+                "canary_rollout: the control namespace diverged from the registry-free baseline"
+            )
+        divergence_p99 = shadowed.metrics.histogram(
+            "rollout.candidate.divergence", DIVERGENCE_BUCKETS
+        ).quantile(0.99)
+
+        # Promote arm vs an engine built directly on the candidate's bits.
+        swap_at = t0 + (2 * span) // 3
+        promoted = build(
+            "promote",
+            model="control",
+            rollout={
+                "candidate": "candidate",
+                "stages": ((t0 - 1, 5), (t0 + span // 3, 50), (swap_at, 100)),
+                "gates": {},
+            },
+        )
+        promoted_served = drive(promoted)
+        if not promoted.rollout.promoted:
+            raise AssertionError("canary_rollout: the promote arm never reached its 100% stage")
+        direct = build("direct", network=candidate_version.build_network())
+        direct_served = drive(direct)
+        post_swap = [index for index, request in enumerate(requests) if request[0] >= swap_at]
+        if not post_swap:
+            raise AssertionError("canary_rollout: no arrivals after the hot swap — widen the stream")
+        for index in post_swap:
+            if promoted_served[index].probability != direct_served[index].probability:
+                raise AssertionError(
+                    "canary_rollout: post-swap predictions diverged from an engine built "
+                    "directly on the promoted version"
+                )
+
+        measured = {
+            "rollback": {
+                "served": len(shadowed_served),
+                "bit_identical": True,
+                "rolled_back": True,
+                "shadow_scored": controller.shadow.predictions_served,
+                "shadow_keys": len(shadow_keys),
+                "canary_assigned": controller.canary_assigned,
+                "divergence_p99": round(divergence_p99, 6),
+                "stage_history": ";".join(controller.stage_history),
+            },
+            "promote": {
+                "served": len(promoted_served),
+                "promoted": True,
+                "post_swap_requests": len(post_swap),
+                "shadow_scored": promoted.rollout.shadow.predictions_served,
+                "canary_assigned": promoted.rollout.canary_assigned,
+                "stage_history": ";".join(promoted.rollout.stage_history),
+            },
+            "metrics": promoted.metrics.snapshot(),
+        }
+        for engine in (baseline, shadowed, promoted, direct):
+            engine.close()
+        return measured
+
     prediction_speedups: dict[str, float] = {}
     update_speedups: dict[str, float] = {}
     shed_rates: dict[str, float] = {}
@@ -943,6 +1159,24 @@ def run_batched_serving(
                     }
                 )
                 metrics_snapshot = measured["metrics"]
+            continue
+        if scenario == "canary_rollout":
+            # Two model-lifecycle arms at the largest batch size; the replay
+            # itself asserts the headline bit-identity invariants (shadow +
+            # rollback ≡ registry-free; promoted ≡ direct-built).
+            canary_batch = max(batch_sizes)
+            measured = run_canary_replay(scenario, requests, canary_batch)
+            metrics_snapshot = measured["metrics"] or metrics_snapshot
+            for arm_name in ("rollback", "promote"):
+                result.rows.append(
+                    {
+                        "scenario": scenario,
+                        "arm": arm_name,
+                        "batch_size": canary_batch,
+                        "replication": replication,
+                        **measured[arm_name],
+                    }
+                )
             continue
         if scenario in ("shard_failover", "diurnal_rebalance"):
             # One elastic replay per scenario at the largest batch size: the

@@ -85,10 +85,13 @@ _ENGINE_FIELD_SPECS = {
     "telemetry": ParamSpec("telemetry", "bool", default=True),
     "replication": ParamSpec("replication", "int", default=1, minimum=1),
     "state_layout": ParamSpec("state_layout", "str", default="entries", choices=STATE_LAYOUTS),
-    # failure_schedule is a nested list of (fire_at, action, shard_index)
-    # triples — no ParamSpec kind models that, so validate_engine_block
-    # shape-checks it by hand and EngineConfig.__post_init__ does the rest.
+    "model": ParamSpec("model", "str"),
+    # failure_schedule and rollout are nested structures — no ParamSpec kind
+    # models those, so validate_engine_block dispatches to the hand-written
+    # shape checks in _ENGINE_BLOCK_VALIDATORS below and
+    # EngineConfig.__post_init__ does the semantic rest.
     "failure_schedule": None,
+    "rollout": None,
 }
 assert set(_ENGINE_FIELD_SPECS) == _ENGINE_FIELDS, "engine-block schemas drifted from EngineConfig"
 
@@ -109,6 +112,44 @@ def _validate_failure_schedule(value: Any, *, where: str) -> None:
             raise ManifestError(f"{where}: action {action!r} must be a string")
         if isinstance(shard_index, bool) or not isinstance(shard_index, int):
             raise ManifestError(f"{where}: shard_index {shard_index!r} must be an int")
+
+
+def _validate_rollout_block(value: Any, *, where: str) -> None:
+    """Shape-check a manifest ``rollout`` block (gate names, stage ordering
+    and the model/telemetry coupling live in ``EngineConfig.__post_init__``,
+    which sees the whole config)."""
+    if not isinstance(value, Mapping):
+        raise ManifestError(f"{where}: expected an object with candidate/stages/gates")
+    unknown = set(value) - {"candidate", "stages", "gates"}
+    if unknown:
+        raise ManifestError(f"{where}: unknown rollout fields {sorted(unknown)}")
+    if not isinstance(value.get("candidate"), str):
+        raise ManifestError(f"{where}: candidate must be a registry version name")
+    stages = value.get("stages")
+    if not isinstance(stages, (list, tuple)):
+        raise ManifestError(f"{where}: stages must be a list of (fire_at, pct) pairs")
+    for entry in stages:
+        if not isinstance(entry, (list, tuple)) or len(entry) != 2:
+            raise ManifestError(f"{where}: stage {entry!r} is not a (fire_at, pct) pair")
+        for field in entry:
+            if isinstance(field, bool) or not isinstance(field, int):
+                raise ManifestError(f"{where}: stage {entry!r} fields must be ints")
+    gates = value.get("gates", {})
+    if not isinstance(gates, Mapping):
+        raise ManifestError(f"{where}: gates must be an object of gate name -> bound")
+    for name, bound in gates.items():
+        if not isinstance(name, str):
+            raise ManifestError(f"{where}: gate name {name!r} must be a string")
+        if isinstance(bound, bool) or not isinstance(bound, (int, float)):
+            raise ManifestError(f"{where}: gate {name!r} bound {bound!r} must be a number")
+
+
+#: Hand-written validators for the engine-block fields no ParamSpec kind can
+#: model (``_ENGINE_FIELD_SPECS`` entries set to ``None``).
+_ENGINE_BLOCK_VALIDATORS = {
+    "failure_schedule": _validate_failure_schedule,
+    "rollout": _validate_rollout_block,
+}
 
 
 class ManifestError(ValueError):
@@ -144,7 +185,7 @@ def validate_engine_block(
     for name, value in engine.items():
         spec = _ENGINE_FIELD_SPECS[name]
         if spec is None:
-            _validate_failure_schedule(value, where=f"{where}, field {name!r}")
+            _ENGINE_BLOCK_VALIDATORS[name](value, where=f"{where}, field {name!r}")
             continue
         try:
             spec.validate(value, where=f"{where}, field {name!r}")

@@ -20,6 +20,10 @@ from .batching import (
 )
 from .services import AggregationFeatureService, HiddenStateService, ServingPrediction
 
+# --- Model lifecycle: versioned registry, shadow/canary rollout -------
+from .registry import ModelRegistry, ModelVersion
+from .rollout import GATE_NAMES, RolloutBackend, RolloutController
+
 # --- Storage: metered KV store, state arena, consistent-hash pool -----
 from .arena import ArenaSpec, StateArena
 from .kvstore import KeyValueStore, KVStats
@@ -30,6 +34,7 @@ from .stream import StreamEvent, StreamProcessor, TimerFiring, TimerGroup
 
 # --- Telemetry: the unified metrics plane -----------------------------
 from .telemetry import (
+    DIVERGENCE_BUCKETS,
     LATENCY_BUCKETS_SECONDS,
     NULL_REGISTRY,
     SIZE_BUCKETS,
@@ -80,6 +85,12 @@ __all__ = [
     # deprecated hand-wired constructors (shims over the facade)
     "HiddenStateService",
     "AggregationFeatureService",
+    # model lifecycle
+    "ModelRegistry",
+    "ModelVersion",
+    "RolloutController",
+    "RolloutBackend",
+    "GATE_NAMES",
     # storage
     "KeyValueStore",
     "KVStats",
@@ -101,6 +112,7 @@ __all__ = [
     "NULL_REGISTRY",
     "LATENCY_BUCKETS_SECONDS",
     "SIZE_BUCKETS",
+    "DIVERGENCE_BUCKETS",
     # SLOs
     "SloPolicy",
     "ServerModel",

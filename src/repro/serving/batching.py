@@ -151,6 +151,9 @@ class SessionStreamMixin:
         self._timer_group = stream.timer_group(self._on_wave) if self.coalesce_updates else None
         self._session_seq = itertools.count()
         self.update_delay_seconds = 0.0
+        # Observers of applied waves (rollout shadow arms): each callable
+        # receives the exact update list after this backend has applied it.
+        self.wave_listeners: list = []
         self._m_delay = self.metrics.histogram("serving.update_delay_seconds", LATENCY_BUCKETS_SECONDS)
         self._m_update_latency = self.metrics.histogram(
             "serving.update_latency_seconds", LATENCY_BUCKETS_SECONDS
@@ -470,6 +473,8 @@ class BatchedHiddenStateBackend(SessionStreamMixin):
                 [updates[index] for index in wave], features[wave], accesses[wave]
             )
             pending = held
+        for listener in self.wave_listeners:
+            listener(updates)
 
     # Back-compat alias from before ``apply_wave`` became the Backend
     # protocol's symmetric entry point.
@@ -644,6 +649,8 @@ class BatchedAggregationBackend(SessionStreamMixin):
                     record["context"][name].pop(0)
             self._save_history(update.user_id, record)
         self.updates_applied += len(updates)
+        for listener in self.wave_listeners:
+            listener(updates)
 
     # ------------------------------------------------------------------
     @property

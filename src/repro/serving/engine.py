@@ -44,6 +44,7 @@ from .batching import (
 )
 from .kvstore import KeyValueStore
 from .online import replay_sessions_through_service
+from .rollout import GATE_NAMES, RolloutController
 from .router import ShardedKeyValueStore
 from .slo import AdmissionController, ServerModel, SloPolicy
 from .stream import StreamProcessor
@@ -159,6 +160,22 @@ class EngineConfig:
     load/save is two fancy-index ops.  Layout is bit-invisible to served
     probabilities, stored records and traffic meters (pinned by
     ``tests/test_state_arena.py``).
+
+    ``model`` pins the control model to a named
+    :class:`~repro.serving.registry.ModelRegistry` version — the registry is
+    supplied to :meth:`ServingEngine.build` as ``models=`` and replaces the
+    ``network=`` argument (hidden-state backend only).  ``rollout`` (needs
+    ``model`` and telemetry) runs a candidate version through the
+    shadow-scoring / staged-canary machinery of
+    :class:`~repro.serving.rollout.RolloutController`: a mapping with a
+    ``candidate`` version name, a ``stages`` schedule of ``(fire_at, pct)``
+    steps (strictly increasing in both, installed as barrier-exempt
+    control-plane stream timers exactly like ``failure_schedule``), and
+    optional ``gates`` bounds (``max_p99_update_delay`` / ``max_shed_rate``
+    / ``max_divergence``) that each stage transition checks against the
+    metrics plane, rolling back on any breach.  The whole subsystem is
+    bit-invisible to the control arm's served values, stored state and pool
+    meters (pinned by ``tests/test_rollout.py``).
     """
 
     backend: str = "hidden_state"
@@ -176,6 +193,8 @@ class EngineConfig:
     replication: int = 1
     failure_schedule: tuple[tuple[int, str, int], ...] | None = None
     state_layout: str = "entries"
+    model: str | None = None
+    rollout: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_KINDS:
@@ -243,6 +262,75 @@ class EngineConfig:
             raise ValueError(
                 f"unknown state_layout {self.state_layout!r}; expected one of {STATE_LAYOUTS}"
             )
+        if self.model is not None:
+            if not isinstance(self.model, str) or not self.model:
+                raise ValueError("model must be a non-empty registry version name")
+            if self.backend != "hidden_state":
+                raise ValueError(
+                    "registry-pinned models apply to the hidden_state backend "
+                    "(the registry stores RNN versions)"
+                )
+        if self.rollout is not None:
+            if self.model is None:
+                raise ValueError(
+                    "a rollout needs a registry-pinned control arm: set model to a version name"
+                )
+            if not self.telemetry:
+                raise ValueError(
+                    "rollout promotion gates read the metrics plane: telemetry must stay on"
+                )
+            rollout = dict(self.rollout)
+            unknown = set(rollout) - {"candidate", "stages", "gates"}
+            if unknown:
+                raise ValueError(f"unknown rollout fields: {sorted(unknown)}")
+            candidate = rollout.get("candidate")
+            if not isinstance(candidate, str) or not candidate:
+                raise ValueError("rollout.candidate must be a non-empty registry version name")
+            if candidate == self.model:
+                raise ValueError(
+                    "rollout.candidate must name a different version than the control model"
+                )
+            raw_stages = rollout.get("stages")
+            if not raw_stages:
+                raise ValueError("rollout.stages must be a non-empty (fire_at, pct) schedule")
+            stages: list[tuple[int, int]] = []
+            for raw in raw_stages:
+                entry = tuple(raw)
+                if len(entry) != 2:
+                    raise ValueError("rollout.stages entries are (fire_at, pct) pairs")
+                fire_at, pct = entry
+                for value, label in ((fire_at, "fire_at"), (pct, "pct")):
+                    if isinstance(value, bool) or not isinstance(value, int):
+                        raise ValueError(f"rollout stage {label} must be an int")
+                if not 0 < pct <= 100:
+                    raise ValueError("rollout stage pct must be in 1..100")
+                if stages:
+                    if fire_at <= stages[-1][0]:
+                        raise ValueError(
+                            "rollout stage fire_at times must be strictly increasing"
+                        )
+                    if pct <= stages[-1][1]:
+                        raise ValueError(
+                            "rollout stage percentages must be strictly increasing"
+                        )
+                stages.append((fire_at, pct))
+            gates = rollout.get("gates", {})
+            if not isinstance(gates, dict):
+                raise ValueError("rollout.gates must be a mapping of gate name to bound")
+            for gate_name, bound in gates.items():
+                if gate_name not in GATE_NAMES:
+                    raise ValueError(
+                        f"unknown rollout gate {gate_name!r}; expected one of {GATE_NAMES}"
+                    )
+                if isinstance(bound, bool) or not isinstance(bound, (int, float)) or bound < 0:
+                    raise ValueError(f"rollout gate {gate_name} must be a non-negative number")
+            # Canonicalize (json lists -> tuples) so a config survives a JSON
+            # round trip intact, like failure_schedule above.
+            object.__setattr__(
+                self,
+                "rollout",
+                {"candidate": candidate, "stages": tuple(stages), "gates": dict(gates)},
+            )
         if self.backend == "hidden_state":
             if self.session_length is None:
                 raise ValueError("the hidden_state backend needs a session_length")
@@ -308,6 +396,7 @@ class ServingEngine:
         metrics: MetricsRegistry | None = None,
         server: ServerModel | None = None,
         admission: AdmissionController | None = None,
+        rollout: RolloutController | None = None,
     ) -> None:
         self.config = config
         self.backend = backend
@@ -317,6 +406,7 @@ class ServingEngine:
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.server = server
         self.admission = admission
+        self.rollout = rollout
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -337,6 +427,7 @@ class ServingEngine:
         server: ServerModel | None = None,
         slo_policy: SloPolicy | None = None,
         admission_mode: str = "shed",
+        models=None,
     ) -> "ServingEngine":
         """Assemble store → stream → backend → queue from the config.
 
@@ -346,6 +437,14 @@ class ServingEngine:
         (``n_shards``/``store_name``, ``coalescing_window``) unless the
         caller passes existing ones — e.g. to share a long-lived stream
         across engine generations or to compare stores across replays.
+
+        When ``config.model`` pins a registry version, ``models=`` (a
+        :class:`~repro.serving.registry.ModelRegistry`) replaces ``network=``
+        — the control network is rebuilt deterministically from the
+        registered bits; ``config.rollout`` additionally wires a
+        :class:`~repro.serving.rollout.RolloutController` (shadow arm +
+        staged canary) between the backend and the queue, surfaced as
+        ``engine.rollout``.
 
         ``server`` attaches a :class:`~repro.serving.slo.ServerModel`
         (simulated capacity; meters backlog-inclusive latencies), and
@@ -413,6 +512,16 @@ class ServingEngine:
                 else:
                     callback = lambda key, events, _store=store, _name=shard_name: _store.recover_shard(_name)
                 stream.set_control_timer(fire_at, f"ring:{action}:{shard_index}@{fire_at}", callback)
+        if config.model is not None:
+            if models is None:
+                raise ValueError(
+                    "config.model pins a registry version: pass models= (a ModelRegistry)"
+                )
+            if network is not None:
+                raise ValueError("pass network= or a registry-pinned config.model, not both")
+            network = models.get(config.model).build_network()
+        elif models is not None:
+            raise ValueError("models= was supplied but config.model pins no version")
         if config.backend == "hidden_state":
             if network is None or builder is None:
                 raise ValueError("the hidden_state backend needs network= and builder=")
@@ -453,6 +562,23 @@ class ServingEngine:
         admission = None
         if slo_policy is not None:
             admission = AdmissionController(slo_policy, registry=registry, mode=admission_mode)
+        rollout = None
+        if config.rollout is not None:
+            # Wrap the control backend: the queue scores through the
+            # controller (shadow mirroring, canary cohort metering, hot
+            # swap), while session observation and waves keep flowing to the
+            # control arm, which forwards each applied wave to the shadow.
+            rollout = RolloutController(
+                config,
+                candidate=models.get(config.rollout["candidate"]),
+                control=backend,
+                builder=builder,
+                store=store,
+                stream=stream,
+                registry=registry,
+                admission=admission,
+            )
+            backend = rollout.backend
         queue = MicroBatchQueue(
             backend,
             max_batch_size=config.max_batch_size,
@@ -470,6 +596,7 @@ class ServingEngine:
             metrics=registry,
             server=server,
             admission=admission,
+            rollout=rollout,
         )
 
     # ------------------------------------------------------------------

@@ -368,6 +368,45 @@ class ShardedKeyValueStore:
             self._by_name[name].put(key, value, size_bytes=size_bytes)
             self._shard_versions[name][key] = version
 
+    def peek(self, key: str, default: Any = None) -> Any:
+        """Unmetered read (pool twin of :meth:`KeyValueStore.peek`).
+
+        Serves from the version-current live replica but — unlike :meth:`get`
+        — never read-repairs: callers that bill their own traffic (rollout
+        shadow namespaces, assertions in tests) must not perturb the pool's
+        client or ``ring.repair_*`` meters as a side effect of looking.
+        """
+        if self.replication == 1:
+            return self._by_name[self._ring.node_for(key)].peek(key, default)
+        version = self._versions.get(key)
+        if version is None:
+            return default
+        live = self._live_owners(key)
+        return self._by_name[self._source_name(key, live, version)].peek(key, default)
+
+    def put_unmetered(self, key: str, value: Any, size_bytes: int) -> None:
+        """Unmetered write (pool twin of :meth:`KeyValueStore.put_unmetered`).
+
+        Fans out to every live owner and maintains the version sidecars
+        exactly like :meth:`put` — so unmetered keys survive
+        ``fail_shard``/``recover_shard`` (recovery walks ``self._versions``)
+        — without touching any shard's client traffic meters.
+        """
+        if self.replication == 1:
+            self._by_name[self._ring.node_for(key)].put_unmetered(key, value, size_bytes)
+            return
+        version = self._versions.get(key, 0) + 1
+        self._versions[key] = version
+        for name in self._live_owners(key):
+            self._by_name[name].put_unmetered(key, value, size_bytes)
+            self._shard_versions[name][key] = version
+
+    def size_of(self, key: str) -> int:
+        """Recorded logical size of ``key``'s value (0 when absent); unmetered."""
+        if self.replication == 1:
+            return self._by_name[self._ring.node_for(key)].size_of(key)
+        return self._logical_size(key)
+
     # ------------------------------------------------------------------
     # Batch APIs: route once per shard, meter identically to the loops
     # ------------------------------------------------------------------

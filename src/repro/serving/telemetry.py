@@ -49,6 +49,7 @@ __all__ = [
     "NULL_REGISTRY",
     "LATENCY_BUCKETS_SECONDS",
     "SIZE_BUCKETS",
+    "DIVERGENCE_BUCKETS",
 ]
 
 #: Default bucket upper bounds for simulated-seconds latency histograms
@@ -63,6 +64,16 @@ LATENCY_BUCKETS_SECONDS: tuple[float, ...] = (
 #: Default bucket upper bounds for count-shaped histograms (batch sizes,
 #: wave sizes, queue depths).
 SIZE_BUCKETS: tuple[float, ...] = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0)
+
+#: Bucket upper bounds for prediction-divergence histograms
+#: (``rollout.<version>.divergence``): the absolute probability gap between a
+#: shadow arm's score and the control arm's on the same request.  The bottom
+#: buckets resolve float noise (a bit-identical candidate lands entirely in
+#: the 0.0 bucket, so a ``max_divergence`` promotion gate near zero is exact);
+#: the top buckets resolve genuinely different models.
+DIVERGENCE_BUCKETS: tuple[float, ...] = (
+    0.0, 1e-09, 1e-06, 1e-04, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0,
+)
 
 
 class Counter:

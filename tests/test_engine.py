@@ -69,6 +69,21 @@ class TestEngineConfig:
         assert EngineConfig.from_dict(json.loads(json.dumps(config.to_dict()))) == config
         aggregation = EngineConfig(backend="aggregation", defer_updates=True, session_length=600)
         assert EngineConfig.from_dict(aggregation.to_dict()) == aggregation
+        lifecycle = EngineConfig(
+            backend="hidden_state",
+            session_length=600,
+            model="v1",
+            rollout={
+                "candidate": "v2",
+                "stages": [[100, 5], [200, 50], [300, 100]],
+                "gates": {"max_divergence": 0.01, "max_shed_rate": 0.0},
+            },
+        )
+        revived = EngineConfig.from_dict(json.loads(json.dumps(lifecycle.to_dict())))
+        assert revived == lifecycle
+        # Canonicalization is part of the contract: JSON lists come back as
+        # the same stage tuples the validator produced.
+        assert revived.rollout["stages"] == ((100, 5), (200, 50), (300, 100))
 
     def test_from_dict_rejects_unknown_fields(self):
         with pytest.raises(ValueError, match="unknown EngineConfig fields"):
@@ -90,6 +105,39 @@ class TestEngineConfig:
             {"backend": "aggregation", "defer_updates": True},  # no session_length
             # A window on immediate writes would be silently inert.
             {"backend": "aggregation", "coalescing_window": 30},
+            # Model lifecycle: contradictions and malformed rollout blocks.
+            {"backend": "aggregation", "model": "v1"},
+            {"backend": "hidden_state", "session_length": 600, "model": ""},
+            {"backend": "hidden_state", "session_length": 600,
+             "rollout": {"candidate": "v2", "stages": ((10, 100),), "gates": {}}},  # no model
+            {"backend": "hidden_state", "session_length": 600, "model": "v1", "telemetry": False,
+             "rollout": {"candidate": "v2", "stages": ((10, 100),), "gates": {}}},
+            {"backend": "hidden_state", "session_length": 600, "model": "v1",
+             "rollout": {"candidate": "v1", "stages": ((10, 100),), "gates": {}}},
+            {"backend": "hidden_state", "session_length": 600, "model": "v1",
+             "rollout": {"stages": ((10, 100),), "gates": {}}},  # no candidate
+            {"backend": "hidden_state", "session_length": 600, "model": "v1",
+             "rollout": {"candidate": "v2", "gates": {}}},  # no stages
+            {"backend": "hidden_state", "session_length": 600, "model": "v1",
+             "rollout": {"candidate": "v2", "stages": (), "gates": {}}},
+            {"backend": "hidden_state", "session_length": 600, "model": "v1",
+             "rollout": {"candidate": "v2", "stages": ((20, 5), (10, 50)), "gates": {}}},
+            {"backend": "hidden_state", "session_length": 600, "model": "v1",
+             "rollout": {"candidate": "v2", "stages": ((10, 50), (20, 5)), "gates": {}}},
+            {"backend": "hidden_state", "session_length": 600, "model": "v1",
+             "rollout": {"candidate": "v2", "stages": ((10, 0),), "gates": {}}},
+            {"backend": "hidden_state", "session_length": 600, "model": "v1",
+             "rollout": {"candidate": "v2", "stages": ((10, 101),), "gates": {}}},
+            {"backend": "hidden_state", "session_length": 600, "model": "v1",
+             "rollout": {"candidate": "v2", "stages": ((10, True),), "gates": {}}},
+            {"backend": "hidden_state", "session_length": 600, "model": "v1",
+             "rollout": {"candidate": "v2", "stages": ((10, 100),), "ramp": "fast"}},
+            {"backend": "hidden_state", "session_length": 600, "model": "v1",
+             "rollout": {"candidate": "v2", "stages": ((10, 100),),
+                         "gates": {"max_latency": 1.0}}},  # unknown gate
+            {"backend": "hidden_state", "session_length": 600, "model": "v1",
+             "rollout": {"candidate": "v2", "stages": ((10, 100),),
+                         "gates": {"max_divergence": -0.1}}},
         ],
     )
     def test_invalid_configs_rejected(self, kwargs):
