@@ -19,7 +19,10 @@
   Poisson arrivals past a :class:`~repro.serving.slo.ServerModel`'s
   capacity, with and without shedding admission control) and ``slo_sweep``
   (the shed-rate vs p99-update-latency frontier across queue-depth
-  bounds).  ``python -m repro.experiments.production --smoke`` runs a
+  bounds), plus the autoscaling scenarios — ``autoscale`` (fixed
+  ``ServerModel`` vs a one-replica ``ReplicaFleet`` vs reactive/predictive
+  elastic fleets) and ``scaling_frontier`` (the reactive-vs-predictive
+  cost-vs-SLO frontier).  ``python -m repro.experiments.production --smoke`` runs a
   small version for CI; ``--engine`` builds every pipeline through the
   :class:`~repro.serving.engine.ServingEngine` facade.
 """
@@ -44,6 +47,7 @@ from ..serving import (
     ModelRegistry,
     ModelVersion,
     OnlineExperiment,
+    ReplicaFleet,
     ServerModel,
     ServingEngine,
     SessionUpdate,
@@ -64,10 +68,11 @@ __all__ = ["run_online_prefetch", "run_serving_cost", "run_training_throughput",
 #: the first four are derived per replayed pipeline (the batch-size/window
 #: sweep loop); ``defer_updates``/``history_window`` have no effect on the
 #: hidden-state dataflow and would pollute provenance if accepted;
-#: ``failure_schedule``/``model``/``rollout`` are derived internally by the
-#: scenarios that exercise them (``shard_failover``, ``canary_rollout``) —
-#: their timings depend on the generated arrival stream and their version
-#: names on the registry the scenario builds.
+#: ``failure_schedule``/``model``/``rollout``/``autoscale`` are derived
+#: internally by the scenarios that exercise them (``shard_failover``,
+#: ``canary_rollout``, ``autoscale``/``scaling_frontier``) — their timings
+#: depend on the generated arrival stream and their version names on the
+#: registry the scenario builds.
 ENGINE_OWNED_FIELDS = (
     "max_batch_size",
     "coalescing_window",
@@ -78,6 +83,7 @@ ENGINE_OWNED_FIELDS = (
     "failure_schedule",
     "model",
     "rollout",
+    "autoscale",
 )
 
 
@@ -280,11 +286,34 @@ def _stored_equal(left: Any, right: Any) -> bool:
     return type(left) is type(right) and left == right
 
 
+def _zipf_user_popularity(n_active: int, skew: float) -> np.ndarray:
+    """Normalized Zipf weights over ``n_active`` users ranked by popularity.
+
+    ``skew=0.0`` is exactly uniform; larger skews concentrate traffic — and
+    with it stored-state keys — on the head of the ranking, which is the
+    hot-shard-imbalance workload (``tests/test_autoscale.py`` asserts the
+    pool's ``load_imbalance`` rises with the skew).
+    """
+    popularity = 1.0 / np.arange(1, n_active + 1) ** skew
+    return popularity / popularity.sum()
+
+
 #: Scenarios that deliberately span more than one session window: session-end
 #: timers fire *mid-serve* (through the queue's barrier), which is the point —
 #: update latency must be observable while the server is backlogged.  They are
 #: exempt from the arrival-span guard the pure-metering scenarios enforce.
 OVERLOAD_SCENARIOS = ("overload", "slo_sweep")
+
+#: Scenarios that drive the elastic replica fleet over the same ramped
+#: arrival shape: ``autoscale`` (fixed/reactive/predictive arms over one
+#: ramp) and ``scaling_frontier`` (the reactive-vs-predictive cost-vs-SLO
+#: frontier across admission bounds).
+AUTOSCALE_SCENARIOS = ("autoscale", "scaling_frontier")
+
+#: Everything replayed over ramped arrivals — overload and autoscale alike
+#: span several session windows and read their latency statistics from the
+#: engine's metrics registry.
+RAMPED_SCENARIOS = OVERLOAD_SCENARIOS + AUTOSCALE_SCENARIOS
 
 
 @register(
@@ -312,6 +341,8 @@ OVERLOAD_SCENARIOS = ("overload", "slo_sweep")
                 "shard_failover",
                 "diurnal_rebalance",
                 "canary_rollout",
+                "autoscale",
+                "scaling_frontier",
             ),
         ),
         ParamSpec(
@@ -353,6 +384,41 @@ OVERLOAD_SCENARIOS = ("overload", "slo_sweep")
             minimum=0,
             doc="slo_sweep bounds; null derives (0, depth/4, depth, 4*depth)",
         ),
+        ParamSpec(
+            "user_skew",
+            "float",
+            default=1.1,
+            minimum=0.0,
+            doc="Zipf exponent of the user-popularity ranking; 0 is uniform",
+        ),
+        ParamSpec(
+            "autoscale_interval",
+            "int",
+            default=60,
+            minimum=1,
+            doc="simulated seconds between autoscaler evaluation ticks",
+        ),
+        ParamSpec(
+            "autoscale_provision_delay",
+            "int",
+            default=120,
+            minimum=0,
+            doc="simulated seconds before a provisioned replica joins the fleet",
+        ),
+        ParamSpec(
+            "autoscale_max_replicas",
+            "int",
+            default=6,
+            minimum=1,
+            doc="fleet size ceiling for the autoscale scenarios",
+        ),
+        ParamSpec(
+            "autoscale_target_depth",
+            "float",
+            default=4.0,
+            minimum=1e-6,
+            doc="reactive policy's target effective queue depth per replica unit",
+        ),
     ],
     engine_param="engine_config",
     engine_reserved=ENGINE_OWNED_FIELDS,
@@ -378,6 +444,11 @@ def run_batched_serving(
     slo_queue_depth: int = 64,
     slo_mode: str = "shed",
     slo_queue_depths: tuple[int, ...] | None = None,
+    user_skew: float = 1.1,
+    autoscale_interval: int = 60,
+    autoscale_provision_delay: int = 120,
+    autoscale_max_replicas: int = 6,
+    autoscale_target_depth: float = 4.0,
     engine_config: Mapping[str, Any] | None = None,
 ) -> ExperimentResult:
     """Load generator for the batched, sharded hidden-state engine.
@@ -424,6 +495,25 @@ def run_batched_serving(
     overload stream across several depth bounds (``slo_queue_depths``,
     default derived from ``slo_queue_depth``), charting shed rate against
     p99 update latency.
+
+    The ``autoscale`` scenario replays the same ramped overload stream
+    through four admission-controlled arms at the largest batch size: a
+    fixed :class:`~repro.serving.slo.ServerModel`, a one-replica
+    :class:`~repro.serving.autoscale.ReplicaFleet` that never scales
+    (*asserted* bit-identical to the ServerModel arm — predictions, store
+    meters, shed decisions), and elastic fleets driven by the ``reactive``
+    and ``predictive`` policies of
+    :class:`~repro.serving.autoscale.Autoscaler` (evaluation every
+    ``autoscale_interval`` seconds, replicas joining after
+    ``autoscale_provision_delay``, at most ``autoscale_max_replicas``).
+    Each elastic row reports shed rate, p99 update latency, replica-seconds
+    cost over the arrival span, peak fleet size and scale events.
+    ``scaling_frontier`` charts the reactive-vs-predictive cost-vs-SLO
+    frontier — one pair of arms per nonzero ``slo_queue_depths`` bound —
+    and *asserts* the headline ordering at the primary ``slo_queue_depth``:
+    the predictive arm (scaling ahead on the GRU-aggregated load forecast)
+    sheds strictly less than the reactive arm at equal or lower
+    replica-seconds cost.
 
     The elastic scenarios exercise the replicated, resizable store pool
     (``replication`` replicas per key; both assert their own correctness).
@@ -476,9 +566,15 @@ def run_batched_serving(
     unknown = set(scenarios) - {
         "poisson", "bursty", "window_sweep", "overload", "slo_sweep",
         "shard_failover", "diurnal_rebalance", "canary_rollout",
+        "autoscale", "scaling_frontier",
     }
     if unknown:
         raise ValueError(f"unknown scenarios: {sorted(unknown)}")
+    if "scaling_frontier" in scenarios and slo_queue_depth <= 0:
+        raise ValueError(
+            "scaling_frontier compares shed rates under admission control: "
+            "slo_queue_depth must be positive"
+        )
     if "canary_rollout" in scenarios:
         if n_requests < 3:
             raise ValueError(
@@ -545,14 +641,15 @@ def run_batched_serving(
                 "an engine-block replication would shadow the parameter and falsify provenance"
             )
         engine_overrides.pop("backend", None)
-        if engine_overrides.get("telemetry") is False and set(scenarios) & set(OVERLOAD_SCENARIOS):
-            # Every latency statistic the overload rows report is read from
-            # the engine's registry; a disabled registry would silently
-            # zero them all, so the contradiction is a hard error.
+        if engine_overrides.get("telemetry") is False and set(scenarios) & set(RAMPED_SCENARIOS):
+            # Every latency statistic the overload/autoscale rows report is
+            # read from the engine's registry; a disabled registry would
+            # silently zero them all, so the contradiction is a hard error.
             raise ValueError(
-                "the overload/slo_sweep scenarios read their latency statistics from the "
-                "engine's metrics registry; \"telemetry\": false in the engine block would "
-                "silently zero every reported p99 — drop the override or the scenarios"
+                "the overload/slo_sweep/autoscale scenarios read their latency statistics "
+                "from the engine's metrics registry; \"telemetry\": false in the engine "
+                "block would silently zero every reported p99 — drop the override or the "
+                "scenarios"
             )
         declared_length = engine_overrides.pop("session_length", None)
         if declared_length is not None and declared_length != dataset.session_length:
@@ -569,10 +666,10 @@ def run_batched_serving(
     rng = np.random.default_rng(seed + 7)
     offsets_by_scenario: dict[str, np.ndarray] = {}
     for scenario in scenarios:
-        if scenario in OVERLOAD_SCENARIOS:
-            # Overload streams deliberately span several session windows —
-            # timers must fire mid-serve, while the server is backlogged —
-            # so the mid-serve guard below does not apply.
+        if scenario in RAMPED_SCENARIOS:
+            # Overload and autoscale streams deliberately span several
+            # session windows — timers must fire mid-serve, while the server
+            # is backlogged — so the mid-serve guard below does not apply.
             offsets_by_scenario[scenario] = _ramped_arrivals(
                 rng, 0, n_requests, overload_base_rate, overload_peak_rate
             )
@@ -602,11 +699,10 @@ def run_batched_serving(
     ).fit(dataset, task)
     assert rnn.network is not None and rnn.builder is not None
 
-    # Shared request material: Zipf-skewed user popularity, context rows
-    # resampled from the users' real logs.
+    # Shared request material: Zipf-skewed user popularity (``user_skew=0``
+    # is exactly uniform), context rows resampled from the users' real logs.
     active_users = [user for user in dataset.users if len(user)]
-    popularity = 1.0 / np.arange(1, len(active_users) + 1) ** 1.1
-    popularity /= popularity.sum()
+    popularity = _zipf_user_popularity(len(active_users), user_skew)
     start = int(dataset.start_time)
 
     def request_stream(arrival_times: np.ndarray):
@@ -788,6 +884,111 @@ def run_batched_serving(
             "p99_queue_latency": queue_latency.quantile(0.99),
             "peak_backlog_seconds": server.peak_backlog_seconds,
             "probabilities": [prediction.probability for prediction in served],
+            "metrics": engine.metrics.snapshot(),
+        }
+        engine.close()
+        return measured
+
+    def run_autoscale_replay(scenario: str, requests, batch_size: int, arm: str, depth_bound: int) -> dict:
+        """One autoscale arm over the ramped stream, admission always shedding.
+
+        ``arm`` selects the capacity model: ``"server"`` (the fixed
+        :class:`~repro.serving.slo.ServerModel` baseline), ``"fixed"`` (a
+        one-replica :class:`~repro.serving.autoscale.ReplicaFleet` that never
+        scales — the bit-identity arm), or ``"reactive"`` / ``"predictive"``
+        (elastic fleets under the named policy).  All arms shed — the
+        frontier compares shed rates, which defer mode would zero — and the
+        replica-seconds cost is measured over the arrival span only (warm-up
+        and the idle run-in before the first arrival are excluded), so arms
+        are directly comparable.
+        """
+        store_name = f"rnn-{scenario}-b{batch_size}-{arm}-d{depth_bound}"
+        t0 = int(requests[0][0])
+        t_end = int(requests[-1][0])
+        build_kwargs: dict[str, Any] = {}
+        config_kwargs: dict[str, Any] = {}
+        if arm == "server":
+            build_kwargs["server"] = ServerModel(service_rate)
+        elif arm == "fixed":
+            build_kwargs["server"] = ReplicaFleet(service_rate)
+        else:
+            config_kwargs["autoscale"] = {
+                "policy": arm,
+                "service_rate": service_rate,
+                "start": t0 + autoscale_interval,
+                "until": t_end,
+                "interval": autoscale_interval,
+                "max_replicas": autoscale_max_replicas,
+                "provision_delay": autoscale_provision_delay,
+                "decommission_delay": autoscale_interval // 2,
+                "target_queue_depth": float(autoscale_target_depth),
+            }
+        engine = ServingEngine.build(
+            EngineConfig(
+                backend="hidden_state",
+                max_batch_size=batch_size,
+                n_shards=n_shards,
+                session_length=dataset.session_length,
+                coalesce_updates=batch_size > 1,
+                store_name=store_name,
+                **config_kwargs,
+                **engine_overrides,
+            ),
+            network=rnn.network,
+            builder=rnn.builder,
+            slo_policy=SloPolicy(max_queue_depth=depth_bound or None),
+            admission_mode="shed",
+            **build_kwargs,
+        )
+        backend = engine.backend
+        backend.apply_wave(
+            [
+                SessionUpdate(user_id=user.user_id, timestamp=start - 3600, context=user.context_row(0), accessed=True)
+                for user in active_users
+            ]
+        )
+        engine.store.reset_stats()
+        warm_updates = backend.updates_applied
+        fleet = engine.server
+        cost_at_start = 0.0
+        if arm != "server":
+            # Settle the fleet's cost meter at the first arrival: settling is
+            # pure with no pending transitions (it only accrues replica-
+            # seconds), and subtracting the run-in leaves the cost of the
+            # arrival span itself.
+            fleet.backlog_seconds(float(t0))
+            cost_at_start = fleet.replica_seconds
+
+        served = engine.replay(requests)
+
+        admission = engine.admission
+        updates_applied = backend.updates_applied - warm_updates
+        assert updates_applied == n_requests
+        assert len(served) == n_requests - admission.requests_shed
+        replica_seconds = None
+        if arm != "server":
+            # Force a final settle so the cost meter covers the whole span
+            # (the stream clock ends past the last arrival after the drain).
+            fleet.backlog_seconds(engine.stream.clock)
+            replica_seconds = fleet.replica_seconds - cost_at_start
+        latency = engine.metrics.histogram("serving.update_latency_seconds")
+        autoscaler = engine.autoscaler
+        measured = {
+            "offered": n_requests,
+            "served": len(served),
+            "shed": admission.requests_shed,
+            "shed_rate": admission.shed_rate,
+            "p99_update_latency": latency.quantile(0.99),
+            "mean_update_latency": latency.mean,
+            "peak_backlog_seconds": fleet.peak_backlog_seconds,
+            "replica_seconds": replica_seconds,
+            "peak_replicas": fleet.peak_replicas if arm != "server" else 1,
+            "scale_up_events": fleet.scale_up_events if arm != "server" else 0,
+            "scale_down_events": fleet.scale_down_events if arm != "server" else 0,
+            "first_scale_up_at": autoscaler.first_scale_up_at if autoscaler is not None else None,
+            "evaluations": autoscaler.evaluations if autoscaler is not None else 0,
+            "probabilities": [prediction.probability for prediction in served],
+            "store_stats": engine.store.stats.snapshot(),
             "metrics": engine.metrics.snapshot(),
         }
         engine.close()
@@ -1160,6 +1361,104 @@ def run_batched_serving(
                 )
                 metrics_snapshot = measured["metrics"]
             continue
+        if scenario == "autoscale":
+            # Four arms over the identical ramped stream.  The fixed fleet
+            # must be bit-invisible (the headline invariant); the elastic
+            # arms chart what each policy buys.
+            auto_batch = max(batch_sizes)
+            arms = {
+                arm: run_autoscale_replay(scenario, requests, auto_batch, arm, slo_queue_depth)
+                for arm in ("server", "fixed", "reactive", "predictive")
+            }
+            if arms["fixed"]["probabilities"] != arms["server"]["probabilities"]:
+                raise AssertionError(
+                    "autoscale: a one-replica ReplicaFleet must be bit-identical to the "
+                    "ServerModel baseline — the fixed arm's predictions diverged"
+                )
+            if arms["fixed"]["store_stats"] != arms["server"]["store_stats"]:
+                raise AssertionError(
+                    "autoscale: the fixed fleet arm's store meters diverged from the "
+                    "ServerModel baseline"
+                )
+            if arms["fixed"]["shed"] != arms["server"]["shed"]:
+                raise AssertionError(
+                    "autoscale: the fixed fleet arm's shed decisions diverged from the "
+                    "ServerModel baseline"
+                )
+            for arm_name, measured in arms.items():
+                result.rows.append(
+                    {
+                        "scenario": scenario,
+                        "arm": arm_name,
+                        "batch_size": auto_batch,
+                        "queue_bound": slo_queue_depth,
+                        "offered": measured["offered"],
+                        "served": measured["served"],
+                        "shed": measured["shed"],
+                        "shed_rate": round(measured["shed_rate"], 3),
+                        "p99_update_latency": round(measured["p99_update_latency"], 1),
+                        "replica_seconds": (
+                            round(measured["replica_seconds"], 1)
+                            if measured["replica_seconds"] is not None
+                            else None
+                        ),
+                        "peak_replicas": measured["peak_replicas"],
+                        "scale_up_events": measured["scale_up_events"],
+                        "scale_down_events": measured["scale_down_events"],
+                        "first_scale_up_at": measured["first_scale_up_at"],
+                    }
+                )
+                shed_rates[f"{scenario}:{arm_name}"] = round(measured["shed_rate"], 4)
+            metrics_snapshot = arms["predictive"]["metrics"]
+            continue
+        if scenario == "scaling_frontier":
+            # The cost-vs-SLO frontier: one reactive/predictive pair per
+            # nonzero depth bound, plus the headline ordering assertion at
+            # the primary bound — the predictive arm must shed strictly less
+            # at equal or lower replica-seconds cost.
+            frontier_batch = max(batch_sizes)
+            frontier: dict[tuple[int, str], dict] = {}
+            for depth_bound in [bound for bound in slo_queue_depths if bound > 0]:
+                for policy_name in ("reactive", "predictive"):
+                    measured = run_autoscale_replay(
+                        scenario, requests, frontier_batch, policy_name, depth_bound
+                    )
+                    frontier[(depth_bound, policy_name)] = measured
+                    result.rows.append(
+                        {
+                            "scenario": scenario,
+                            "arm": policy_name,
+                            "batch_size": frontier_batch,
+                            "queue_bound": depth_bound,
+                            "served": measured["served"],
+                            "shed": measured["shed"],
+                            "shed_rate": round(measured["shed_rate"], 3),
+                            "p99_update_latency": round(measured["p99_update_latency"], 1),
+                            "replica_seconds": round(measured["replica_seconds"], 1),
+                            "peak_replicas": measured["peak_replicas"],
+                            "scale_up_events": measured["scale_up_events"],
+                            "first_scale_up_at": measured["first_scale_up_at"],
+                        }
+                    )
+                    metrics_snapshot = measured["metrics"]
+            reactive = frontier[(slo_queue_depth, "reactive")]
+            predictive = frontier[(slo_queue_depth, "predictive")]
+            if not predictive["shed"] < reactive["shed"]:
+                raise AssertionError(
+                    f"scaling_frontier: the predictive arm shed {predictive['shed']} requests "
+                    f"vs the reactive arm's {reactive['shed']} at queue bound {slo_queue_depth} "
+                    "— forecast-driven scaling must beat target tracking on the ramp"
+                )
+            if not predictive["replica_seconds"] <= reactive["replica_seconds"]:
+                raise AssertionError(
+                    f"scaling_frontier: the predictive arm cost "
+                    f"{predictive['replica_seconds']:.1f} replica-seconds vs the reactive "
+                    f"arm's {reactive['replica_seconds']:.1f} — it must not buy its lower "
+                    "shed rate with a larger fleet bill"
+                )
+            shed_rates[f"{scenario}:reactive"] = round(reactive["shed_rate"], 4)
+            shed_rates[f"{scenario}:predictive"] = round(predictive["shed_rate"], 4)
+            continue
         if scenario == "canary_rollout":
             # Two model-lifecycle arms at the largest batch size; the replay
             # itself asserts the headline bit-identity invariants (shadow +
@@ -1269,8 +1568,9 @@ def run_batched_serving(
         ),
         "prediction_speedups": prediction_speedups,
         "update_drain_speedups": update_speedups,
-        "service_rate": service_rate if set(scenarios) & set(OVERLOAD_SCENARIOS) else None,
+        "service_rate": service_rate if set(scenarios) & set(RAMPED_SCENARIOS) else None,
         "slo_mode": slo_mode if set(scenarios) & set(OVERLOAD_SCENARIOS) else None,
+        "user_skew": user_skew,
         "shed_rates": shed_rates,
         "replication": replication if elastic else None,
         "elastic_meters": elastic_meters,

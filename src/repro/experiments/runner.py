@@ -86,12 +86,13 @@ _ENGINE_FIELD_SPECS = {
     "replication": ParamSpec("replication", "int", default=1, minimum=1),
     "state_layout": ParamSpec("state_layout", "str", default="entries", choices=STATE_LAYOUTS),
     "model": ParamSpec("model", "str"),
-    # failure_schedule and rollout are nested structures — no ParamSpec kind
-    # models those, so validate_engine_block dispatches to the hand-written
-    # shape checks in _ENGINE_BLOCK_VALIDATORS below and
+    # failure_schedule, rollout and autoscale are nested structures — no
+    # ParamSpec kind models those, so validate_engine_block dispatches to the
+    # hand-written shape checks in _ENGINE_BLOCK_VALIDATORS below and
     # EngineConfig.__post_init__ does the semantic rest.
     "failure_schedule": None,
     "rollout": None,
+    "autoscale": None,
 }
 assert set(_ENGINE_FIELD_SPECS) == _ENGINE_FIELDS, "engine-block schemas drifted from EngineConfig"
 
@@ -144,11 +145,50 @@ def _validate_rollout_block(value: Any, *, where: str) -> None:
             raise ManifestError(f"{where}: gate {name!r} bound {bound!r} must be a number")
 
 
+_AUTOSCALE_INT_FIELDS = (
+    "start",
+    "until",
+    "interval",
+    "initial_replicas",
+    "min_replicas",
+    "max_replicas",
+    "provision_delay",
+    "decommission_delay",
+    "depth_window",
+    "horizon",
+)
+_AUTOSCALE_FLOAT_FIELDS = ("service_rate", "target_queue_depth", "utilization")
+
+
+def _validate_autoscale_block(value: Any, *, where: str) -> None:
+    """Shape-check a manifest ``autoscale`` block (replica-bound ordering,
+    the schedule/backend/telemetry coupling and default filling live in
+    ``EngineConfig.__post_init__``, which sees the whole config)."""
+    if not isinstance(value, Mapping):
+        raise ManifestError(f"{where}: expected an object with policy/service_rate/start/until")
+    unknown = set(value) - {"policy", *_AUTOSCALE_INT_FIELDS, *_AUTOSCALE_FLOAT_FIELDS}
+    if unknown:
+        raise ManifestError(f"{where}: unknown autoscale fields {sorted(unknown)}")
+    if not isinstance(value.get("policy"), str):
+        raise ManifestError(f"{where}: policy must be a string (reactive or predictive)")
+    for name in _AUTOSCALE_INT_FIELDS:
+        if name in value:
+            field = value[name]
+            if isinstance(field, bool) or not isinstance(field, int):
+                raise ManifestError(f"{where}: {name} {field!r} must be an int")
+    for name in _AUTOSCALE_FLOAT_FIELDS:
+        if name in value:
+            field = value[name]
+            if isinstance(field, bool) or not isinstance(field, (int, float)):
+                raise ManifestError(f"{where}: {name} {field!r} must be a number")
+
+
 #: Hand-written validators for the engine-block fields no ParamSpec kind can
 #: model (``_ENGINE_FIELD_SPECS`` entries set to ``None``).
 _ENGINE_BLOCK_VALIDATORS = {
     "failure_schedule": _validate_failure_schedule,
     "rollout": _validate_rollout_block,
+    "autoscale": _validate_autoscale_block,
 }
 
 

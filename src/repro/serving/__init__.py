@@ -47,6 +47,15 @@ from .telemetry import (
 # --- SLOs: capacity model, policy, admission control ------------------
 from .slo import ADMISSION_MODES, AdmissionController, ServerModel, SloPolicy
 
+# --- Autoscaling: elastic replica fleet, scaling policies -------------
+from .autoscale import (
+    AUTOSCALE_POLICIES,
+    Autoscaler,
+    PredictivePolicy,
+    ReactivePolicy,
+    ReplicaFleet,
+)
+
 # --- Cost model and state quantization --------------------------------
 from .cost import (
     CostParameters,
@@ -118,6 +127,12 @@ __all__ = [
     "ServerModel",
     "AdmissionController",
     "ADMISSION_MODES",
+    # autoscaling
+    "ReplicaFleet",
+    "ReactivePolicy",
+    "PredictivePolicy",
+    "Autoscaler",
+    "AUTOSCALE_POLICIES",
     # cost + quantization
     "CostParameters",
     "ServingCostReport",

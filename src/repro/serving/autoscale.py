@@ -1,0 +1,477 @@
+"""Predictive autoscaling: an elastic replica fleet driven by scaling policies.
+
+PR 5's :class:`~repro.serving.slo.ServerModel` made overload representable,
+but its capacity is one constant per run — real serving fleets scale with
+load.  This module generalises it into three pieces:
+
+* :class:`ReplicaFleet` — N replicas behind the exact ``ServerModel``
+  capacity arithmetic.  The fleet drains ``active × service_rate`` requests
+  per simulated second; scaling is asynchronous (provisioned replicas join
+  after ``provision_delay`` seconds, decommissioned ones keep costing until
+  ``decommission_delay`` passes) and a replica-seconds meter integrates
+  fleet size over the simulated clock — the cost axis of the cost-vs-SLO
+  frontier.  A fleet of one replica is *bit-identical* to
+  ``ServerModel(service_rate)`` in every observable (same float ops, pinned
+  by ``tests/test_autoscale.py``), so it is a drop-in ``server=`` for the
+  engine.
+* :class:`ReactivePolicy` / :class:`PredictivePolicy` — pluggable sizing
+  policies.  Reactive is target tracking on the windowed effective queue
+  depth (the same signal admission control bounds); by construction it only
+  moves *after* a backlog exists, so on a ramp it pays the provisioning
+  delay in shed requests.  Predictive aggregates the engine's own GRU
+  per-user activity predictions into a horizon load forecast — the paper's
+  model, scored over every stored user's state at ``now`` and at
+  ``now + horizon`` — and sizes the fleet for the forecast demand with
+  headroom, scaling *ahead* of the provisioning delay.
+* :class:`Autoscaler` — the control loop.  Evaluation ticks are
+  barrier-exempt control-plane stream timers (the PR 6/8
+  ``set_control_timer`` machinery): they fire alone at their exact time and
+  never run the micro-batch flush barrier, so a scaling decision can never
+  change micro-batch composition — an autoscaled run whose fleet never
+  resizes is bit-identical to the ``ServerModel`` path.
+
+Wired through ``EngineConfig.autoscale`` (see
+:class:`~repro.serving.engine.EngineConfig`); all ``autoscale.*``
+instruments land in the shared :class:`~repro.serving.telemetry.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from collections import deque
+
+import numpy as np
+
+from ..features.bucketing import log_bucket
+from .quantization import dequantize_state
+from .telemetry import NULL_REGISTRY, MetricsRegistry
+
+__all__ = [
+    "ReplicaFleet",
+    "ReactivePolicy",
+    "PredictivePolicy",
+    "Autoscaler",
+    "AUTOSCALE_POLICIES",
+]
+
+AUTOSCALE_POLICIES = ("reactive", "predictive")
+
+
+class ReplicaFleet:
+    """Deterministic N-replica capacity model on the simulated clock.
+
+    Drop-in for :class:`~repro.serving.slo.ServerModel` (``process`` /
+    ``backlog_seconds`` / ``queue_depth`` / ``peak_backlog_seconds``): the
+    fleet behaves as one queue drained at ``active × service_rate`` requests
+    per simulated second.  With one replica the arithmetic is bit-identical
+    to ``ServerModel(service_rate)`` — ``1 * rate == rate`` exactly, so
+    every float op matches.
+
+    Scaling is asynchronous and deterministic.  :meth:`scale_to` moves the
+    *target*; additions become active ``provision_delay`` seconds later,
+    removals stop costing ``decommission_delay`` seconds later.  Reversing
+    direction first cancels still-pending transitions (a not-yet-provisioned
+    replica can be cancelled instantly; a draining one can be kept), so
+    pending transitions always share one sign and the active count never
+    leaves ``[min_replicas, max_replicas]``.  When capacity changes with a
+    backlog outstanding, the remaining *work* is conserved:
+    ``busy_until`` is re-expressed against the new drain rate.
+
+    ``replica_seconds`` integrates the active replica count over simulated
+    time — the cost meter of the cost-vs-SLO frontier.  Accounting starts at
+    the first simulated timestamp the fleet observes (first ``process`` /
+    backlog query / ``scale_to``), so directly constructed fleets are exact
+    without a clock-origin convention; a decommissioned replica accrues cost
+    until its removal takes effect.
+    """
+
+    def __init__(
+        self,
+        service_rate: float,
+        *,
+        initial_replicas: int = 1,
+        min_replicas: int = 1,
+        max_replicas: int | None = None,
+        provision_delay: int = 0,
+        decommission_delay: int = 0,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if service_rate <= 0:
+            raise ValueError("service_rate must be positive (requests per simulated second per replica)")
+        if min_replicas < 1:
+            raise ValueError("min_replicas must be at least 1")
+        if max_replicas is None:
+            max_replicas = max(initial_replicas, min_replicas)
+        if max_replicas < min_replicas:
+            raise ValueError(f"max_replicas {max_replicas} below min_replicas {min_replicas}")
+        if not min_replicas <= initial_replicas <= max_replicas:
+            raise ValueError(
+                f"initial_replicas {initial_replicas} outside [{min_replicas}, {max_replicas}]"
+            )
+        if provision_delay < 0 or decommission_delay < 0:
+            raise ValueError("provisioning delays must be non-negative")
+        self.service_rate = float(service_rate)
+        self.min_replicas = int(min_replicas)
+        self.max_replicas = int(max_replicas)
+        self.provision_delay = int(provision_delay)
+        self.decommission_delay = int(decommission_delay)
+        self._active = int(initial_replicas)
+        self._target = int(initial_replicas)
+        #: Pending ``(effective_at, delta)`` transitions, ascending by time.
+        #: Invariant: all deltas share one sign (direction reversals cancel).
+        self._transitions: list[tuple[float, int]] = []
+        self.busy_until = 0.0
+        self.requests_processed = 0
+        self.busy_seconds = 0.0
+        self.peak_backlog_seconds = 0.0
+        self.replica_seconds = 0.0
+        self.peak_replicas = int(initial_replicas)
+        self.scale_up_events = 0
+        self.scale_down_events = 0
+        self._accounted_to: float | None = None
+        self.metrics = registry if registry is not None else NULL_REGISTRY
+        self._m_size = self.metrics.gauge("autoscale.fleet_size")
+        self._m_target = self.metrics.gauge("autoscale.target_replicas")
+        self._m_ups = self.metrics.counter("autoscale.scale_up_events")
+        self._m_downs = self.metrics.counter("autoscale.scale_down_events")
+        self._m_cost = self.metrics.counter("autoscale.replica_seconds")
+        self._m_size.set(self._active)
+        self._m_target.set(self._target)
+        self.metrics.register_sync(self._sync_metrics)
+
+    # ------------------------------------------------------------------
+    # Capacity model (ServerModel-compatible surface)
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> float:
+        """Aggregate drain rate, requests per simulated second."""
+        return self._active * self.service_rate
+
+    @property
+    def replicas(self) -> int:
+        """Replicas active (and costing) as of the last settled timestamp."""
+        return self._active
+
+    @property
+    def target_replicas(self) -> int:
+        """Fleet size once every pending transition lands."""
+        return self._target
+
+    def process(self, n_requests: int, at: float) -> float:
+        """Charge a batch arriving at simulated time ``at``; returns completion."""
+        if n_requests < 0:
+            raise ValueError("n_requests must be non-negative")
+        at = float(at)
+        self._settle(at)
+        start = max(at, self.busy_until)
+        service = n_requests / self.capacity
+        self.busy_until = start + service
+        self.requests_processed += n_requests
+        self.busy_seconds += service
+        backlog = self.busy_until - at
+        if backlog > self.peak_backlog_seconds:
+            self.peak_backlog_seconds = backlog
+        return self.busy_until
+
+    def backlog_seconds(self, at: float) -> float:
+        at = float(at)
+        self._settle(at)
+        return max(self.busy_until - at, 0.0)
+
+    def queue_depth(self, at: float) -> float:
+        """Outstanding work at ``at``, expressed in requests."""
+        return self.backlog_seconds(at) * self.capacity
+
+    # ------------------------------------------------------------------
+    # Elastic membership
+    # ------------------------------------------------------------------
+    def scale_to(self, target: int, at: float) -> int:
+        """Move the fleet toward ``target`` replicas; returns the clamped target.
+
+        Additions land at ``at + provision_delay``, removals at
+        ``at + decommission_delay``.  Reversing direction cancels pending
+        transitions first (newest first), so a flapping policy never pays a
+        phantom delay for capacity it no longer wants.
+        """
+        at = float(at)
+        self._settle(at)
+        target = max(self.min_replicas, min(self.max_replicas, int(target)))
+        delta = target - self._target
+        if delta == 0:
+            return target
+        self._target = target
+        if delta > 0:
+            self.scale_up_events += 1
+            delta = self._cancel_pending(-1, delta)
+            if delta:
+                self._schedule(at + self.provision_delay, delta)
+        else:
+            self.scale_down_events += 1
+            delta = self._cancel_pending(+1, delta)
+            if delta:
+                self._schedule(at + self.decommission_delay, delta)
+        self._m_target.set(self._target)
+        return target
+
+    def _cancel_pending(self, sign: int, delta: int) -> int:
+        """Cancel pending transitions of ``sign`` against ``delta`` (opposite
+        sign), newest first; returns whatever remains to schedule."""
+        while delta and self._transitions and sign * self._transitions[-1][1] > 0:
+            effective, pending = self._transitions.pop()
+            cancelled = min(abs(pending), abs(delta))
+            remainder = pending - sign * cancelled
+            delta += sign * cancelled
+            if remainder:
+                self._transitions.append((effective, remainder))
+        return delta
+
+    def _schedule(self, effective_at: float, delta: int) -> None:
+        bisect.insort(self._transitions, (effective_at, delta))
+
+    def _settle(self, at: float) -> None:
+        """Apply transitions due by ``at`` and accrue replica-seconds."""
+        if self._accounted_to is None:
+            self._accounted_to = at
+        while self._transitions and self._transitions[0][0] <= at:
+            effective, delta = self._transitions.pop(0)
+            self._accrue(effective)
+            if self.busy_until > effective:
+                # Conserve the outstanding work across the capacity change.
+                remaining = (self.busy_until - effective) * self.capacity
+                self._active += delta
+                self.busy_until = effective + remaining / self.capacity
+            else:
+                self._active += delta
+            if self._active > self.peak_replicas:
+                self.peak_replicas = self._active
+            self._m_size.set(self._active)
+        self._accrue(at)
+
+    def _accrue(self, to: float) -> None:
+        if to > self._accounted_to:
+            self.replica_seconds += self._active * (to - self._accounted_to)
+            self._accounted_to = to
+
+    def _sync_metrics(self) -> None:
+        self._m_cost.value = self.replica_seconds
+        self._m_ups.value = self.scale_up_events
+        self._m_downs.value = self.scale_down_events
+
+
+class ReactivePolicy:
+    """Target tracking on the windowed effective queue depth.
+
+    Each evaluation observes the fleet's effective depth (backlog expressed
+    in requests — the same signal :class:`~repro.serving.slo.SloPolicy`
+    bounds) and sizes the fleet to hold ``target_queue_depth`` requests per
+    replica-target unit: ``ceil(mean_depth / target_queue_depth)``, with the
+    mean taken over the last ``depth_window`` ticks so one spiky sample does
+    not flap the fleet.  Purely reactive by construction: depth only rises
+    *after* demand has outrun capacity, so on a ramp this policy scales with
+    a detection lag on top of the provisioning delay — the shed requests in
+    that gap are exactly what :class:`PredictivePolicy` buys back.
+    """
+
+    def __init__(self, target_queue_depth: float = 8.0, *, depth_window: int = 2) -> None:
+        if target_queue_depth <= 0:
+            raise ValueError("target_queue_depth must be positive")
+        if depth_window < 1:
+            raise ValueError("depth_window must be at least 1")
+        self.target_queue_depth = float(target_queue_depth)
+        self.depth_window = int(depth_window)
+        self._samples: deque[float] = deque(maxlen=depth_window)
+
+    def desired_replicas(self, at: float, fleet: ReplicaFleet) -> int:
+        self._samples.append(fleet.queue_depth(at))
+        depth = sum(self._samples) / len(self._samples)
+        return max(1, math.ceil(depth / self.target_queue_depth))
+
+
+class PredictivePolicy:
+    """Horizon load forecast aggregated from the engine's own GRU.
+
+    The paper's model already predicts per-user activity; this policy
+    aggregates it into fleet sizing.  Each evaluation:
+
+    1. Measures the *observed* arrival rate since the previous tick from the
+       shared registry (``slo.requests_offered``, falling back to
+       ``queue.requests_submitted`` when no admission controller meters
+       offers).
+    2. Scores every stored user's hidden state twice through the backend's
+       network — gap-to-``now`` and gap-to-``now + horizon`` — and sums the
+       activity probabilities into aggregate loads ``A(now)`` and
+       ``A(now + horizon)``.  Reads go through the store's unmetered
+       ``peek`` (control-plane traffic must not pollute the client ``kv.*``
+       meters), and scoring happens outside any micro-batch, so the forecast
+       is bit-invisible to served predictions.
+    3. Forecasts the horizon demand as
+       ``rate × A(now + horizon) / A(now)`` — the GRU supplies the *shape*
+       of the load trajectory, the measured rate its scale — and sizes the
+       fleet for it at ``utilization`` headroom, plus enough capacity to
+       clear the current backlog within one horizon:
+       ``ceil((forecast + depth / horizon) / (service_rate × utilization))``.
+
+    Because the signal is the demand rate itself (not the backlog the
+    reactive policy waits for), the fleet is provisioned *ahead* of the
+    ramp: capacity is requested while the queue is still healthy, one
+    provisioning delay before it is needed.
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        horizon: int,
+        utilization: float = 0.8,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive (simulated seconds)")
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError("utilization must be in (0, 1]")
+        self.backend = backend
+        self.horizon = int(horizon)
+        self.utilization = float(utilization)
+        self.metrics = registry if registry is not None else NULL_REGISTRY
+        self._m_forecast = self.metrics.gauge("autoscale.forecast_load")
+        self._last_tick: tuple[float, int] | None = None
+        self.last_forecast_rate = 0.0
+
+    # ------------------------------------------------------------------
+    def _offered_so_far(self) -> int:
+        """Requests offered to the pipeline so far, per the registry."""
+        for name in ("slo.requests_offered", "queue.requests_submitted"):
+            instrument = self.metrics.get(name)
+            if instrument is not None and instrument.value:
+                return int(instrument.value)
+        return 0
+
+    def _aggregate_activity(self, at: float) -> tuple[float, float]:
+        """``(A(at), A(at + horizon))``: summed GRU activity probabilities
+        over every stored user, with gaps measured to each reference time."""
+        backend = self.backend
+        store = backend.store
+        network = backend.network
+        prefix = backend.STATE_PREFIX
+        keys = sorted(key for key in store.keys() if key.startswith(prefix))
+        if not keys:
+            return 0.0, 0.0
+        states = np.empty((len(keys), network.state_size))
+        timestamps = np.empty(len(keys))
+        for row, key in enumerate(keys):
+            record = store.peek(key)
+            stored = record["state"]
+            if backend.quantize:
+                stored = dequantize_state(stored, record["scale"])
+            states[row] = stored
+            timestamps[row] = record["timestamp"]
+        config = network.config
+        # No per-user "current context" exists at forecast time, so score
+        # with a schema-complete neutral row (all fields zero).  Any fixed
+        # choice cancels out: the forecast only uses the ratio of the two
+        # aggregates, and both are scored with the same rows.
+        neutral = [
+            {field.name: 0.0 for field in backend.builder.schema} for _ in keys
+        ]
+        totals = []
+        for reference in (at, at + self.horizon):
+            gaps = np.maximum(reference - timestamps, 0.0)
+            gap_buckets = np.asarray(log_bucket(gaps, n_buckets=config.n_delta_buckets)).reshape(-1)
+            if config.predict_uses_context:
+                features = backend.builder.encode_context_rows(
+                    neutral, np.full(len(keys), int(reference), dtype=np.int64)
+                )
+            else:
+                features = None
+            inputs = network.build_predict_inputs(features, gap_buckets)
+            totals.append(float(network.predict_proba_batch(states, inputs).sum()))
+        return totals[0], totals[1]
+
+    def desired_replicas(self, at: float, fleet: ReplicaFleet) -> int:
+        offered = self._offered_so_far()
+        rate = 0.0
+        if self._last_tick is not None:
+            last_at, last_offered = self._last_tick
+            elapsed = at - last_at
+            if elapsed > 0:
+                rate = max(offered - last_offered, 0) / elapsed
+        self._last_tick = (at, offered)
+        now_load, horizon_load = self._aggregate_activity(at)
+        forecast = rate * (horizon_load / now_load) if now_load > 0 else rate
+        self.last_forecast_rate = forecast
+        self._m_forecast.set(forecast)
+        required = forecast + fleet.queue_depth(at) / self.horizon
+        return max(1, math.ceil(required / (fleet.service_rate * self.utilization)))
+
+
+class Autoscaler:
+    """The control loop: policy evaluations on barrier-exempt stream timers.
+
+    Construction installs one control-plane timer per tick of the schedule
+    (``start``, ``start + interval``, … up to ``until``) — the same
+    bounded, precomputed idiom as ``EngineConfig.failure_schedule`` and the
+    rollout stage schedule, so an end-of-replay ``stream.flush()`` fires a
+    finite set of leftover ticks instead of re-arming forever.  Each tick
+    asks the policy for a desired size and moves the fleet toward it, with
+    one asymmetry: scale-up is unbounded (an emergency is an emergency),
+    scale-down steps at most one replica per tick (graceful drain), applied
+    identically to every policy so the frontier compares signals, not drain
+    schedules.
+
+    Ticks fire alone at their exact fire time and never run the micro-batch
+    flush barrier — scaling can never change batch composition, so an
+    autoscaled engine whose fleet never resizes is bit-identical to the
+    ``ServerModel`` path (pinned by ``tests/test_autoscale.py``).
+    """
+
+    def __init__(
+        self,
+        fleet: ReplicaFleet,
+        policy,
+        stream,
+        *,
+        start: int,
+        until: int,
+        interval: int,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError("interval must be positive (simulated seconds)")
+        if until < start:
+            raise ValueError(f"until {until} precedes start {start}")
+        self.fleet = fleet
+        self.policy = policy
+        self.evaluations = 0
+        #: ``(at, desired, target)`` per tick — ``desired`` is the policy's
+        #: raw ask, ``target`` what the fleet accepted after clamping and
+        #: the one-step scale-down limit.
+        self.history: list[tuple[int, int, int]] = []
+        self.metrics = registry if registry is not None else NULL_REGISTRY
+        self._m_evaluations = self.metrics.counter("autoscale.evaluations")
+        for fire_at in range(int(start), int(until) + 1, int(interval)):
+            stream.set_control_timer(
+                fire_at,
+                f"autoscale:{fire_at}",
+                lambda key, events, _at=fire_at: self.evaluate(_at),
+            )
+
+    def evaluate(self, at: int) -> int:
+        """One tick: ask the policy, move the fleet; returns the new target."""
+        desired = self.policy.desired_replicas(float(at), self.fleet)
+        floored = max(desired, self.fleet.target_replicas - 1)
+        target = self.fleet.scale_to(floored, float(at))
+        self.evaluations += 1
+        self._m_evaluations.inc()
+        self.history.append((int(at), int(desired), target))
+        return target
+
+    @property
+    def first_scale_up_at(self) -> int | None:
+        """Simulated time of the first tick that raised the target (None if never)."""
+        previous: int | None = None
+        for at, _desired, target in self.history:
+            if previous is not None and target > previous:
+                return at
+            previous = target
+        return None

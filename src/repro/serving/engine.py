@@ -34,6 +34,13 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Any, Protocol, runtime_checkable
 
+from .autoscale import (
+    AUTOSCALE_POLICIES,
+    Autoscaler,
+    PredictivePolicy,
+    ReactivePolicy,
+    ReplicaFleet,
+)
 from .batching import (
     BatchedAggregationBackend,
     BatchedHiddenStateBackend,
@@ -176,6 +183,27 @@ class EngineConfig:
     metrics plane, rolling back on any breach.  The whole subsystem is
     bit-invisible to the control arm's served values, stored state and pool
     meters (pinned by ``tests/test_rollout.py``).
+
+    ``autoscale`` replaces the fixed caller-supplied ``server=`` capacity
+    with an elastic :class:`~repro.serving.autoscale.ReplicaFleet` driven by
+    an :class:`~repro.serving.autoscale.Autoscaler` on barrier-exempt
+    control-plane stream timers (so scaling never changes micro-batch
+    composition).  A mapping with required ``policy`` (``"reactive"`` or
+    ``"predictive"``), ``service_rate`` (per-replica requests/second) and
+    tick schedule ``start`` / ``until`` (``interval`` defaults to 60s);
+    fleet shape ``initial_replicas`` / ``min_replicas`` / ``max_replicas``
+    (defaults 1/1/8) with asynchronous ``provision_delay`` (default 60s) and
+    ``decommission_delay`` (default 0s); reactive tuning
+    ``target_queue_depth`` (default 8.0) / ``depth_window`` (default 2) and
+    predictive tuning ``horizon`` (defaults to ``provision_delay +
+    interval``) / ``utilization`` (default 0.8).  Needs the deferred-update
+    dataflow (control timers live on the stream); ``"predictive"``
+    additionally needs the ``hidden_state`` backend (it aggregates the GRU's
+    per-user activity forecasts) and telemetry (it measures the arrival rate
+    from the metrics plane).  A fleet pinned to one replica
+    (``min == initial == max == 1``) is bit-identical to the fixed
+    ``ServerModel`` path in every observable (pinned by
+    ``tests/test_autoscale.py``).
     """
 
     backend: str = "hidden_state"
@@ -195,6 +223,7 @@ class EngineConfig:
     state_layout: str = "entries"
     model: str | None = None
     rollout: dict[str, Any] | None = None
+    autoscale: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_KINDS:
@@ -331,6 +360,108 @@ class EngineConfig:
                 "rollout",
                 {"candidate": candidate, "stages": tuple(stages), "gates": dict(gates)},
             )
+        if self.autoscale is not None:
+            block = dict(self.autoscale)
+            known = {
+                "policy",
+                "service_rate",
+                "start",
+                "until",
+                "interval",
+                "initial_replicas",
+                "min_replicas",
+                "max_replicas",
+                "provision_delay",
+                "decommission_delay",
+                "target_queue_depth",
+                "depth_window",
+                "horizon",
+                "utilization",
+            }
+            unknown = set(block) - known
+            if unknown:
+                raise ValueError(f"unknown autoscale fields: {sorted(unknown)}")
+            policy = block.get("policy")
+            if policy not in AUTOSCALE_POLICIES:
+                raise ValueError(
+                    f"autoscale.policy must be one of {AUTOSCALE_POLICIES}, got {policy!r}"
+                )
+            for name in ("policy", "service_rate", "start", "until"):
+                if name not in block:
+                    raise ValueError(f"autoscale needs a {name} field")
+            # Defaults are filled here so a canonical config round-trips
+            # through JSON intact, like failure_schedule and rollout above.
+            block.setdefault("interval", 60)
+            block.setdefault("initial_replicas", 1)
+            block.setdefault("min_replicas", 1)
+            block.setdefault("max_replicas", 8)
+            block.setdefault("provision_delay", 60)
+            block.setdefault("decommission_delay", 0)
+            block.setdefault("target_queue_depth", 8.0)
+            block.setdefault("depth_window", 2)
+            block.setdefault("horizon", block["provision_delay"] + block["interval"])
+            block.setdefault("utilization", 0.8)
+            int_fields = (
+                "start",
+                "until",
+                "interval",
+                "initial_replicas",
+                "min_replicas",
+                "max_replicas",
+                "provision_delay",
+                "decommission_delay",
+                "depth_window",
+                "horizon",
+            )
+            for name in int_fields:
+                value = block[name]
+                if isinstance(value, bool) or not isinstance(value, int):
+                    raise ValueError(f"autoscale.{name} must be an int")
+            for name in ("service_rate", "target_queue_depth", "utilization"):
+                value = block[name]
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    raise ValueError(f"autoscale.{name} must be a number")
+                block[name] = float(value)
+            if block["service_rate"] <= 0:
+                raise ValueError("autoscale.service_rate must be positive")
+            if block["until"] < block["start"]:
+                raise ValueError("autoscale.until must not precede autoscale.start")
+            if block["interval"] < 1:
+                raise ValueError("autoscale.interval must be at least 1 simulated second")
+            if block["min_replicas"] < 1:
+                raise ValueError("autoscale.min_replicas must be at least 1")
+            if not block["min_replicas"] <= block["initial_replicas"] <= block["max_replicas"]:
+                raise ValueError(
+                    "autoscale replica bounds need "
+                    "min_replicas <= initial_replicas <= max_replicas"
+                )
+            if block["provision_delay"] < 0 or block["decommission_delay"] < 0:
+                raise ValueError("autoscale provisioning delays must be non-negative")
+            if block["target_queue_depth"] <= 0:
+                raise ValueError("autoscale.target_queue_depth must be positive")
+            if block["depth_window"] < 1:
+                raise ValueError("autoscale.depth_window must be at least 1")
+            if block["horizon"] < 1:
+                raise ValueError("autoscale.horizon must be at least 1 simulated second")
+            if not 0.0 < block["utilization"] <= 1.0:
+                raise ValueError("autoscale.utilization must be in (0, 1]")
+            if not self.deferred_updates:
+                raise ValueError(
+                    "autoscale ticks fire on the stream clock and need the "
+                    "deferred-update dataflow (hidden_state, or defer_updates=True)"
+                )
+            if policy == "predictive":
+                if self.backend != "hidden_state":
+                    raise ValueError(
+                        "the predictive policy aggregates the GRU's activity "
+                        "forecasts: it needs the hidden_state backend"
+                    )
+                if not self.telemetry:
+                    raise ValueError(
+                        "the predictive policy measures the arrival rate from "
+                        "the metrics plane: telemetry must stay on"
+                    )
+            object.__setattr__(self, "autoscale", block)
         if self.backend == "hidden_state":
             if self.session_length is None:
                 raise ValueError("the hidden_state backend needs a session_length")
@@ -397,6 +528,7 @@ class ServingEngine:
         server: ServerModel | None = None,
         admission: AdmissionController | None = None,
         rollout: RolloutController | None = None,
+        autoscaler: Autoscaler | None = None,
     ) -> None:
         self.config = config
         self.backend = backend
@@ -407,6 +539,7 @@ class ServingEngine:
         self.server = server
         self.admission = admission
         self.rollout = rollout
+        self.autoscaler = autoscaler
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -453,6 +586,13 @@ class ServingEngine:
         overload machinery.  Both are observation/admission only: with no
         policy bounds the built pipeline is bit-identical to an unguarded
         one.
+
+        When ``config.autoscale`` is set the engine builds its own elastic
+        :class:`~repro.serving.autoscale.ReplicaFleet` as the server (a
+        caller-supplied ``server=`` is rejected) and installs an
+        :class:`~repro.serving.autoscale.Autoscaler` whose evaluation ticks
+        are barrier-exempt control-plane stream timers, surfaced as
+        ``engine.autoscaler``.
         """
         registry: MetricsRegistry | None = MetricsRegistry() if config.telemetry else None
         if store is None:
@@ -512,6 +652,21 @@ class ServingEngine:
                 else:
                     callback = lambda key, events, _store=store, _name=shard_name: _store.recover_shard(_name)
                 stream.set_control_timer(fire_at, f"ring:{action}:{shard_index}@{fire_at}", callback)
+        if config.autoscale is not None:
+            if server is not None:
+                raise ValueError(
+                    "config.autoscale builds its own ReplicaFleet; do not also pass server="
+                )
+            block = config.autoscale
+            server = ReplicaFleet(
+                block["service_rate"],
+                initial_replicas=block["initial_replicas"],
+                min_replicas=block["min_replicas"],
+                max_replicas=block["max_replicas"],
+                provision_delay=block["provision_delay"],
+                decommission_delay=block["decommission_delay"],
+                registry=registry,
+            )
         if config.model is not None:
             if models is None:
                 raise ValueError(
@@ -559,6 +714,33 @@ class ServingEngine:
                 registry=registry,
                 server=server,
             )
+        autoscaler = None
+        if config.autoscale is not None:
+            # The policy reads control-plane signals only (fleet backlog, the
+            # shared registry, unmetered GRU scoring of stored states) and the
+            # ticks are barrier-exempt control timers, so the whole loop is
+            # bit-invisible to served values until the fleet actually resizes.
+            block = config.autoscale
+            if block["policy"] == "predictive":
+                policy = PredictivePolicy(
+                    backend,
+                    horizon=block["horizon"],
+                    utilization=block["utilization"],
+                    registry=registry,
+                )
+            else:
+                policy = ReactivePolicy(
+                    block["target_queue_depth"], depth_window=block["depth_window"]
+                )
+            autoscaler = Autoscaler(
+                server,
+                policy,
+                stream,
+                start=block["start"],
+                until=block["until"],
+                interval=block["interval"],
+                registry=registry,
+            )
         admission = None
         if slo_policy is not None:
             admission = AdmissionController(slo_policy, registry=registry, mode=admission_mode)
@@ -597,6 +779,7 @@ class ServingEngine:
             server=server,
             admission=admission,
             rollout=rollout,
+            autoscaler=autoscaler,
         )
 
     # ------------------------------------------------------------------

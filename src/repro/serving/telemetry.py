@@ -246,6 +246,22 @@ class Histogram:
         self.min_value = minimum
         self.max_value = maximum
 
+    def reset(self) -> None:
+        """Forget every observation — lifetime counts *and* the sliding
+        window — while keeping the bucket bounds and window configuration.
+        Only the component that owns the paired legacy meter may call this
+        (same contract as :meth:`Counter.reset`), so the registry view and
+        the legacy view reset together and stay exact."""
+        self.counts = [0] * len(self.bounds)
+        self.overflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min_value = float("inf")
+        self.max_value = float("-inf")
+        if self._window is not None:
+            self._window.clear()
+            self._window_counts = [0] * (len(self.bounds) + 1)
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

@@ -138,6 +138,50 @@ class TestAdmissionAtTheQueue:
         assert sorted(user for user, _ in collected) == [0, 1, 2, 3, 4]
         assert admission.requests_shed == 0
 
+    def test_record_deferred_counts_each_park_exactly_once(self):
+        """The deferral meter counts *parks*, not re-admission attempts:
+        failed readmits while pressure holds must not re-count a parked
+        request, and a successful readmit is unmetered by design."""
+        server = ServerModel(service_rate=1.0)
+        queue, admission = self._queue(bound=2, batch=8, server=server, mode="defer")
+        collected = []
+        for step in range(5):
+            collected += queue.submit(step, None, 0)
+        assert admission.requests_deferred == 3 and queue.deferred == 3
+        # Hammer re-admission while the backlog still violates the bound:
+        # every attempt fails, and none of them touches the meter.
+        for _ in range(5):
+            collected += queue.advance_to(0)
+        assert queue.deferred == 3
+        assert admission.requests_deferred == 3
+        assert admission.metrics.counter("slo.requests_deferred").value == 3
+        # Healthy again: the parked requests re-enter (and serve), still
+        # without another tick of the meter — one park, one count, forever.
+        collected += queue.advance_to(1000)
+        collected += queue.flush()
+        collected += queue.advance_to(2000)
+        collected += queue.flush() + queue.drain_completed()
+        assert queue.deferred == 0
+        assert admission.requests_deferred == 3
+        assert admission.requests_offered == 5  # readmits are not re-offers
+        assert admission.requests_shed == 0
+        assert sorted(user for user, _ in collected) == [0, 1, 2, 3, 4]
+
+    def test_drain_deferred_serves_parked_requests_exactly_once(self):
+        """The end-of-replay force-drain: every parked request is served
+        exactly once and the monotone deferral meter keeps its count."""
+        server = ServerModel(service_rate=1.0)
+        queue, admission = self._queue(bound=2, batch=8, server=server, mode="defer")
+        collected = []
+        for step in range(6):
+            collected += queue.submit(step, None, 0)
+        assert queue.deferred == 4
+        collected += queue.drain_deferred() + queue.drain_completed()
+        assert queue.deferred == 0
+        assert admission.requests_deferred == 4
+        assert sorted(user for user, _ in collected) == [0, 1, 2, 3, 4, 5]
+        assert queue.drain_deferred() == []  # no-op when nothing is parked
+
     def test_new_submits_never_overtake_parked_requests(self):
         """Regression: a newly offered request used to be admitted directly
         while older deferred requests sat parked (re-admission only ran on

@@ -122,6 +122,54 @@ class TestInstruments:
         snapshot = histogram.snapshot()
         assert snapshot["window"] == {"size": 4, "count": 1, "p50": 10.0, "p99": 10.0}
 
+    def test_window_quantile_with_fewer_observations_than_the_window(self):
+        # A partially filled window ranks over what it holds, not the size.
+        histogram = Histogram("h", buckets=(1.0, 10.0, 100.0))
+        histogram.enable_window(64)
+        histogram.observe(0.5)
+        histogram.observe(50.0)
+        assert histogram.window_quantile(0.5) == 1.0
+        assert histogram.window_quantile(1.0) == 100.0
+
+    def test_window_of_size_one_tracks_only_the_last_observation(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.enable_window(1)
+        histogram.observe(50.0)
+        histogram.observe(0.5)
+        assert histogram.window_quantile(0.5) == 1.0
+        assert histogram.window_quantile(0.99) == 1.0
+        histogram.observe(5.0)
+        assert histogram.window_quantile(0.5) == 10.0
+
+    def test_window_overflow_reports_the_lifetime_maximum(self):
+        # The overflow bucket has no upper bound and the window keeps no max
+        # of its own, so an in-window overflow falls back to the lifetime
+        # latched maximum — even when a larger overflow has already rotated
+        # *out* of the window (the documented approximation).
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.enable_window(2)
+        histogram.observe(500.0)
+        histogram.observe(0.5)
+        histogram.observe(20.0)  # window now {0.5, 20.0}; lifetime max 500.0
+        assert histogram.window_quantile(1.0) == 500.0
+
+    def test_reset_clears_the_window_but_keeps_it_enabled(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        histogram.enable_window(4)
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        histogram.reset()
+        assert histogram.count == 0
+        assert histogram.window_quantile(0.99) == 0.0  # empty again
+        assert histogram.snapshot()["window"] == {"size": 4, "count": 0, "p50": 0.0, "p99": 0.0}
+        # Observations after the reset start a fresh window at the same size:
+        # no stale bucket counts survive to skew the first new quantiles.
+        histogram.observe(5.0)
+        assert histogram.window_quantile(0.5) == 10.0
+        assert histogram.quantile(0.5) == 10.0
+        with pytest.raises(ValueError):
+            histogram.enable_window(8)  # still enabled at size 4
+
     def test_registry_get_or_create_and_kind_conflicts(self):
         registry = MetricsRegistry()
         counter = registry.counter("x")
