@@ -1,4 +1,4 @@
-"""Benchmark guard: telemetry overhead on the batch-64 serving hot path.
+"""Benchmark guards: telemetry and tracing overhead on the batch-64 hot path.
 
 The metrics plane rides the hottest loops in the repo — one counter
 increment per KV operation, one histogram observation per request and per
@@ -7,6 +7,12 @@ batch-64 workload through two identically-built pipelines, one with a live
 :class:`~repro.serving.telemetry.MetricsRegistry` and one with the no-op
 registry (``registry=None``), interleaved best-of-N, and fails if
 instrumentation costs more than 5% of the uninstrumented wall time.
+
+The request tracer rides the same loops (a span tree per sampled request,
+an instant per KV operation), so it gets the same guard: a live
+:class:`~repro.serving.tracing.Tracer` — at full sampling and at 10% —
+versus the inert ``NULL_TRACER``, both over a live registry, same 5%
+budget.
 
 Run with the rest of the benchmarks::
 
@@ -32,6 +38,7 @@ from repro.serving import (
     MicroBatchQueue,
     SessionUpdate,
     StreamProcessor,
+    Tracer,
 )
 
 #: Long enough (~0.5s per replay) to integrate over the scheduler-noise
@@ -74,15 +81,26 @@ def parts():
     return builder, network, events
 
 
-def _timed_replay(parts, registry) -> float:
-    """One full serve+drain replay; returns wall seconds."""
+def _timed_replay(parts, registry, sample_pct=None) -> float:
+    """One full serve+drain replay; returns wall seconds.
+
+    ``sample_pct`` attaches a fresh :class:`Tracer` at that sampling rate
+    (``None`` leaves the pipeline on the inert ``NULL_TRACER``) — fresh per
+    replay so span accumulation from earlier trials never skews a later
+    arm's allocator behaviour.
+    """
     builder, network, events = parts
+    tracer = Tracer(sample_pct) if sample_pct is not None else None
     store = KeyValueStore("bench", registry=registry)
+    if tracer is not None:
+        store.attach_tracer(tracer)
     stream = StreamProcessor()
     backend = BatchedHiddenStateBackend(
-        network, builder, store, stream, SESSION_LENGTH, registry=registry
+        network, builder, store, stream, SESSION_LENGTH, registry=registry, tracer=tracer
     )
-    queue = MicroBatchQueue(backend, max_batch_size=BATCH_SIZE, stream=stream, registry=registry)
+    queue = MicroBatchQueue(
+        backend, max_batch_size=BATCH_SIZE, stream=stream, registry=registry, tracer=tracer
+    )
     backend.apply_wave(
         [
             SessionUpdate(
@@ -150,4 +168,35 @@ def test_bench_telemetry_overhead_under_5_percent(parts):
     assert overhead <= MAX_OVERHEAD, (
         f"telemetry overhead {overhead:+.2%} exceeds the {MAX_OVERHEAD:.0%} budget "
         f"(no-op {null_best:.4f}s vs instrumented {live_best:.4f}s)"
+    )
+
+
+@pytest.mark.parametrize("sample_pct", [100, 10], ids=["full", "sampled"])
+def test_bench_tracing_overhead_under_5_percent(parts, sample_pct):
+    # Same adaptive interleaved protocol as the telemetry guard, with a
+    # live registry in *both* arms — tracing rides on top of telemetry in
+    # every production pipeline, so its marginal cost is what matters.
+    _timed_replay(parts, MetricsRegistry())
+    _timed_replay(parts, MetricsRegistry(), sample_pct)
+    off_times, on_times = [], []
+    overhead = float("inf")
+    for trial in range(MAX_TRIALS):
+        off_times.append(_timed_replay(parts, MetricsRegistry()))
+        on_times.append(_timed_replay(parts, MetricsRegistry(), sample_pct))
+        best_pair = min(on / off for on, off in zip(on_times, off_times))
+        overhead = min(min(on_times) / min(off_times), best_pair) - 1.0
+        if trial + 1 >= MIN_TRIALS and overhead <= MAX_OVERHEAD:
+            break
+    off_best, on_best = min(off_times), min(on_times)
+    print(
+        f"\nbatch-{BATCH_SIZE} hot path over {N_REQUESTS} requests: "
+        f"untraced {off_best * 1e3:.1f}ms, traced@{sample_pct}% {on_best * 1e3:.1f}ms, "
+        f"overhead {overhead:+.2%} after {len(off_times)} trials "
+        f"(budget {MAX_OVERHEAD:.0%}; "
+        f"spread off {statistics.median(off_times) / off_best - 1:.1%}, "
+        f"on {statistics.median(on_times) / on_best - 1:.1%})"
+    )
+    assert overhead <= MAX_OVERHEAD, (
+        f"tracing overhead at sample_pct={sample_pct} is {overhead:+.2%}, over the "
+        f"{MAX_OVERHEAD:.0%} budget (untraced {off_best:.4f}s vs traced {on_best:.4f}s)"
     )

@@ -1,0 +1,117 @@
+"""Trace a request: where did the slowest request's latency go?
+
+Builds a facade engine with request tracing on (``EngineConfig.tracing``),
+replays a bursty session stream through it, and asks the
+:class:`~repro.serving.tracing.TraceAnalyzer` for the request with the
+largest end-to-end duration.  Its critical path — the root span
+partitioned into segments, each attributed to the pipeline stage the
+request was really waiting on — is printed alongside the per-category
+breakdown, whose columns always sum to the root duration exactly.  The
+same spans export as Chrome trace JSON, loadable in ``chrome://tracing``
+or https://ui.perfetto.dev.
+
+    python examples/trace_a_request.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.data import ContextField, ContextSchema
+from repro.features.sequence import SequenceBuilder
+from repro.models.rnn import RNNNetworkConfig, RNNPrecomputeNetwork
+from repro.serving import EngineConfig, ServingEngine, TraceAnalyzer, validate_chrome_trace
+
+
+def bursty_events(rng, n_events=400, n_users=16):
+    """A diurnal-ish stream: 60% of arrivals snap onto 5-minute bursts, so
+    many session windows close together and updates coalesce into waves —
+    the regime where ``update.wave_wait`` dominates a request's latency."""
+    base = 1_600_000_000
+    raw = rng.integers(0, 6_000, size=n_events)
+    bursty = rng.random(n_events) < 0.6
+    raw[bursty] -= raw[bursty] % 300
+    return [
+        (
+            int(timestamp),
+            int(rng.integers(0, n_users)),
+            {"badge": float(rng.integers(0, 9)), "surface": float(rng.integers(0, 3))},
+            bool(rng.random() < 0.4),
+        )
+        for timestamp in np.sort(base + raw)
+    ]
+
+
+def main() -> None:
+    schema = ContextSchema(
+        fields=(
+            ContextField("badge", "numeric"),
+            ContextField("surface", "categorical", cardinality=3),
+        )
+    )
+    builder = SequenceBuilder(schema)
+    network = RNNPrecomputeNetwork(
+        RNNNetworkConfig(feature_dim=builder.feature_dim, hidden_size=24, mlp_hidden=12),
+        rng=np.random.default_rng(7),
+    ).eval()
+
+    engine = ServingEngine.build(
+        EngineConfig(
+            backend="hidden_state",
+            max_batch_size=16,
+            coalescing_window=45,
+            session_length=600,
+            n_shards=3,
+            store_name="rnn",
+            tracing={},  # trace every request; {"sample_pct": N} samples a stable cohort
+        ),
+        network=network,
+        builder=builder,
+    )
+    events = bursty_events(np.random.default_rng(42))
+    served = engine.replay(events)
+    print(f"replayed {len(events)} requests ({len(served)} served) with tracing on")
+
+    analyzer = TraceAnalyzer(engine.tracer.spans())
+    slowest = analyzer.slowest()
+    assert slowest is not None
+    print(
+        f"\nslowest request: trace_id={slowest.trace_id} "
+        f"user={slowest.attrs['user_id']} duration={slowest.duration:.1f}s "
+        f"(simulated clock)"
+    )
+
+    print("\ncritical path (each segment = the stage the request was waiting on):")
+    for name, low, high in analyzer.critical_path(slowest):
+        offset = low - slowest.start
+        bar = "#" * max(1, round(40 * (high - low) / slowest.duration))
+        print(f"  +{offset:7.1f}s  {name:<18} {high - low:8.1f}s  {bar}")
+
+    row = analyzer.breakdown(slowest)
+    print("\nbreakdown (sums to the root duration exactly):")
+    for category in ("queue", "compute", "session_window", "update_defer", "other"):
+        print(f"  {category + '_s':<18} {row[f'{category}_s']:8.1f}")
+    print(f"  {'total':<18} {row['duration_s']:8.1f}")
+    print(f"  KV traffic: {row['kv_lookups']} lookups, {row['kv_bytes']} bytes")
+
+    print("\nfleet-wide means (the trace_* columns in scenario rows):")
+    for key, value in analyzer.summary().items():
+        print(f"  {key:<24} {value}")
+
+    trace = engine.tracer.chrome_trace()
+    validate_chrome_trace(trace)
+    path = Path(tempfile.gettempdir()) / "trace_a_request.trace.json"
+    path.write_text(json.dumps(trace))
+    print(
+        f"\nwrote {len(trace['traceEvents'])} trace events to {path}\n"
+        "open it in chrome://tracing or https://ui.perfetto.dev"
+    )
+    engine.close()
+
+
+if __name__ == "__main__":
+    main()

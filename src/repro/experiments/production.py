@@ -54,6 +54,7 @@ from ..serving import (
     ShardedKeyValueStore,
     SloPolicy,
     StreamProcessor,
+    TraceAnalyzer,
     estimate_serving_costs,
     kv_traffic_cost,
     rnn_prediction_flops,
@@ -826,10 +827,17 @@ def run_batched_serving(
         shed (or parked, under ``slo_mode="defer"``) whenever the effective
         queue depth — pending micro-batch requests plus the server backlog
         in requests — reaches the bound.
+
+        Tracing is on by default (the rows carry the ``TraceAnalyzer``
+        latency-breakdown columns); a manifest ``tracing`` block still wins,
+        e.g. to sample.  Tracing is pinned bit-invisible, so the arms stay
+        comparable either way.
         """
         store_name = f"rnn-{scenario}-b{batch_size}-d{depth_bound}"
         server = ServerModel(service_rate)
         policy = SloPolicy(max_queue_depth=depth_bound or None)
+        overrides = dict(engine_overrides)
+        overrides.setdefault("tracing", {})
         engine = ServingEngine.build(
             EngineConfig(
                 backend="hidden_state",
@@ -838,7 +846,7 @@ def run_batched_serving(
                 session_length=dataset.session_length,
                 coalesce_updates=batch_size > 1,
                 store_name=store_name,
-                **engine_overrides,
+                **overrides,
             ),
             network=rnn.network,
             builder=rnn.builder,
@@ -885,6 +893,8 @@ def run_batched_serving(
             "peak_backlog_seconds": server.peak_backlog_seconds,
             "probabilities": [prediction.probability for prediction in served],
             "metrics": engine.metrics.snapshot(),
+            "trace": engine.tracer.chrome_trace(),
+            "trace_summary": TraceAnalyzer(engine.tracer.spans()).summary(),
         }
         engine.close()
         return measured
@@ -901,6 +911,10 @@ def run_batched_serving(
         replica-seconds cost is measured over the arrival span only (warm-up
         and the idle run-in before the first arrival are excluded), so arms
         are directly comparable.
+
+        Tracing is on by default, same as :func:`run_overload_replay` — the
+        bit-identity assertions between the fixed-fleet and ``ServerModel``
+        arms therefore also pin that tracing never perturbs the dataflow.
         """
         store_name = f"rnn-{scenario}-b{batch_size}-{arm}-d{depth_bound}"
         t0 = int(requests[0][0])
@@ -923,6 +937,8 @@ def run_batched_serving(
                 "decommission_delay": autoscale_interval // 2,
                 "target_queue_depth": float(autoscale_target_depth),
             }
+        overrides = dict(engine_overrides)
+        overrides.setdefault("tracing", {})
         engine = ServingEngine.build(
             EngineConfig(
                 backend="hidden_state",
@@ -932,7 +948,7 @@ def run_batched_serving(
                 coalesce_updates=batch_size > 1,
                 store_name=store_name,
                 **config_kwargs,
-                **engine_overrides,
+                **overrides,
             ),
             network=rnn.network,
             builder=rnn.builder,
@@ -990,6 +1006,8 @@ def run_batched_serving(
             "probabilities": [prediction.probability for prediction in served],
             "store_stats": engine.store.stats.snapshot(),
             "metrics": engine.metrics.snapshot(),
+            "trace": engine.tracer.chrome_trace(),
+            "trace_summary": TraceAnalyzer(engine.tracer.spans()).summary(),
         }
         engine.close()
         return measured
@@ -1304,6 +1322,7 @@ def run_batched_serving(
     shed_rates: dict[str, float] = {}
     elastic_meters: dict[str, dict[str, int]] = {}
     metrics_snapshot: dict[str, Any] = {}
+    trace_snapshot: dict[str, Any] = {}
     for scenario, requests in streams_by_scenario.items():
         if scenario == "overload":
             # Two arms over the identical ramped stream: uncontrolled vs
@@ -1334,10 +1353,12 @@ def run_batched_serving(
                         "mean_update_latency": round(measured["mean_update_latency"], 2),
                         "p99_queue_latency": round(measured["p99_queue_latency"], 1),
                         "peak_backlog": round(measured["peak_backlog_seconds"], 1),
+                        **measured["trace_summary"],
                     }
                 )
             shed_rates[scenario] = round(slo_arm["shed_rate"], 4)
             metrics_snapshot = slo_arm["metrics"]
+            trace_snapshot = slo_arm["trace"]
             continue
         if scenario == "slo_sweep":
             # Shed-rate vs p99-latency frontier: one replay of the same
@@ -1357,9 +1378,11 @@ def run_batched_serving(
                         "p99_update_latency": round(measured["p99_update_latency"], 1),
                         "mean_update_latency": round(measured["mean_update_latency"], 2),
                         "peak_backlog": round(measured["peak_backlog_seconds"], 1),
+                        **measured["trace_summary"],
                     }
                 )
                 metrics_snapshot = measured["metrics"]
+                trace_snapshot = measured["trace"]
             continue
         if scenario == "autoscale":
             # Four arms over the identical ramped stream.  The fixed fleet
@@ -1406,10 +1429,12 @@ def run_batched_serving(
                         "scale_up_events": measured["scale_up_events"],
                         "scale_down_events": measured["scale_down_events"],
                         "first_scale_up_at": measured["first_scale_up_at"],
+                        **measured["trace_summary"],
                     }
                 )
                 shed_rates[f"{scenario}:{arm_name}"] = round(measured["shed_rate"], 4)
             metrics_snapshot = arms["predictive"]["metrics"]
+            trace_snapshot = arms["predictive"]["trace"]
             continue
         if scenario == "scaling_frontier":
             # The cost-vs-SLO frontier: one reactive/predictive pair per
@@ -1438,9 +1463,11 @@ def run_batched_serving(
                             "peak_replicas": measured["peak_replicas"],
                             "scale_up_events": measured["scale_up_events"],
                             "first_scale_up_at": measured["first_scale_up_at"],
+                            **measured["trace_summary"],
                         }
                     )
                     metrics_snapshot = measured["metrics"]
+                    trace_snapshot = measured["trace"]
             reactive = frontier[(slo_queue_depth, "reactive")]
             predictive = frontier[(slo_queue_depth, "predictive")]
             if not predictive["shed"] < reactive["shed"]:
@@ -1579,6 +1606,11 @@ def run_batched_serving(
         # The last facade-built pipeline's full registry dump; the manifest
         # runner writes it out as a dedicated <run>.metrics.json artifact.
         result.metadata["metrics"] = metrics_snapshot
+    if trace_snapshot:
+        # The last traced pipeline's Chrome-trace export (overload: the SLO
+        # arm; autoscale: the predictive arm); the manifest runner writes it
+        # out as <run>.trace.json, loadable in chrome://tracing / Perfetto.
+        result.metadata["trace"] = trace_snapshot
     return result
 
 

@@ -93,6 +93,7 @@ _ENGINE_FIELD_SPECS = {
     "failure_schedule": None,
     "rollout": None,
     "autoscale": None,
+    "tracing": None,
 }
 assert set(_ENGINE_FIELD_SPECS) == _ENGINE_FIELDS, "engine-block schemas drifted from EngineConfig"
 
@@ -183,12 +184,27 @@ def _validate_autoscale_block(value: Any, *, where: str) -> None:
                 raise ManifestError(f"{where}: {name} {field!r} must be a number")
 
 
+def _validate_tracing_block(value: Any, *, where: str) -> None:
+    """Shape-check a manifest ``tracing`` block (the sample_pct range check
+    lives in ``EngineConfig.__post_init__``, which also fills the default)."""
+    if not isinstance(value, Mapping):
+        raise ManifestError(f"{where}: expected an object with sample_pct")
+    unknown = set(value) - {"sample_pct"}
+    if unknown:
+        raise ManifestError(f"{where}: unknown tracing fields {sorted(unknown)}")
+    if "sample_pct" in value:
+        pct = value["sample_pct"]
+        if isinstance(pct, bool) or not isinstance(pct, int):
+            raise ManifestError(f"{where}: sample_pct {pct!r} must be an int (percent of requests)")
+
+
 #: Hand-written validators for the engine-block fields no ParamSpec kind can
 #: model (``_ENGINE_FIELD_SPECS`` entries set to ``None``).
 _ENGINE_BLOCK_VALIDATORS = {
     "failure_schedule": _validate_failure_schedule,
     "rollout": _validate_rollout_block,
     "autoscale": _validate_autoscale_block,
+    "tracing": _validate_tracing_block,
 }
 
 
@@ -568,8 +584,10 @@ def write_artifacts(
     column set (consistent with ``ExperimentResult.format_table``, missing
     cells empty).  Runs whose metadata carries a telemetry snapshot
     (``metadata["metrics"]``, an ``engine.metrics.snapshot()`` dump) also
-    get a dedicated ``<run_name>.metrics.json``.  A ``summary.json``
-    indexes every run by name, hash and wall-time.
+    get a dedicated ``<run_name>.metrics.json``; runs carrying a Chrome-trace
+    export (``metadata["trace"]``, a ``Tracer.chrome_trace()`` dump) get a
+    ``<run_name>.trace.json`` loadable in chrome://tracing / Perfetto.  A
+    ``summary.json`` indexes every run by name, hash and wall-time.
     """
     directory = Path(out_dir)
     directory.mkdir(parents=True, exist_ok=True)
@@ -608,6 +626,13 @@ def write_artifacts(
             )
             written.append(metrics_path)
             artifacts.append(metrics_path.name)
+        if isinstance(result.metadata.get("trace"), Mapping) and result.metadata["trace"]:
+            trace_path = directory / f"{run.planned.run_name}.trace.json"
+            trace_path.write_text(
+                json.dumps(_json_safe(result.metadata["trace"]), indent=2, sort_keys=True) + "\n"
+            )
+            written.append(trace_path)
+            artifacts.append(trace_path.name)
         index.append(
             {
                 "run_name": run.planned.run_name,

@@ -44,6 +44,15 @@ from .telemetry import (
     MetricsRegistry,
 )
 
+# --- Tracing: per-request span trees, critical-path analysis ----------
+from .tracing import (
+    NULL_TRACER,
+    Span,
+    TraceAnalyzer,
+    Tracer,
+    validate_chrome_trace,
+)
+
 # --- SLOs: capacity model, policy, admission control ------------------
 from .slo import ADMISSION_MODES, AdmissionController, ServerModel, SloPolicy
 
@@ -122,6 +131,12 @@ __all__ = [
     "LATENCY_BUCKETS_SECONDS",
     "SIZE_BUCKETS",
     "DIVERGENCE_BUCKETS",
+    # tracing
+    "Tracer",
+    "TraceAnalyzer",
+    "Span",
+    "NULL_TRACER",
+    "validate_chrome_trace",
     # SLOs
     "SloPolicy",
     "ServerModel",

@@ -46,6 +46,7 @@ import numpy as np
 from ..features.bucketing import log_bucket
 from .quantization import dequantize_state
 from .telemetry import NULL_REGISTRY, MetricsRegistry
+from .tracing import NULL_TRACER, Tracer
 
 __all__ = [
     "ReplicaFleet",
@@ -435,6 +436,7 @@ class Autoscaler:
         until: int,
         interval: int,
         registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive (simulated seconds)")
@@ -442,6 +444,7 @@ class Autoscaler:
             raise ValueError(f"until {until} precedes start {start}")
         self.fleet = fleet
         self.policy = policy
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.evaluations = 0
         #: ``(at, desired, target)`` per tick — ``desired`` is the policy's
         #: raw ask, ``target`` what the fleet accepted after clamping and
@@ -464,6 +467,11 @@ class Autoscaler:
         self.evaluations += 1
         self._m_evaluations.inc()
         self.history.append((int(at), int(desired), target))
+        if self.tracer.enabled:
+            self.tracer.control_event(
+                "autoscale.tick", at, desired=int(desired), target=int(target),
+                replicas=self.fleet.replicas,
+            )
         return target
 
     @property

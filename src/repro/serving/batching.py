@@ -63,6 +63,7 @@ from .telemetry import (
     SIZE_BUCKETS,
     MetricsRegistry,
 )
+from .tracing import NULL_TRACER
 
 __all__ = [
     "ServingRequest",
@@ -143,10 +144,12 @@ class SessionStreamMixin:
         *,
         registry: MetricsRegistry | None = None,
         server=None,
+        tracer=None,
     ) -> None:
         self.stream = stream
         self.metrics = registry if registry is not None else NULL_REGISTRY
         self.server = server
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.coalesce_updates = bool(coalesce_updates) and stream is not None
         self._timer_group = stream.timer_group(self._on_wave) if self.coalesce_updates else None
         self._session_seq = itertools.count()
@@ -200,6 +203,8 @@ class SessionStreamMixin:
             StreamEvent(topic="access", key=key, timestamp=timestamp, payload={"accessed": bool(accessed)})
         )
         fire_at = timestamp + self.session_length + self.extra_lag
+        if self.tracer.enabled:
+            self.tracer.session_published(user_id, timestamp, fire_at)
         if self._timer_group is not None:
             self._timer_group.set_timer(fire_at, key, payload=(user_id, timestamp))
         else:
@@ -226,7 +231,12 @@ class SessionStreamMixin:
         # the window's close when this runs, so meter the wait exactly as
         # _on_wave does (0 under same-second delivery).
         self._meter_update_delays([float(max(self.stream.clock - fire_at, 0))])
+        traced = self.tracer.enabled
+        if traced:
+            self.tracer.begin_wave([(user_id, timestamp, fire_at)], self.stream.clock)
         self.apply_wave([self._session_update(user_id, timestamp, events)])
+        if traced:
+            self.tracer.end_wave()
 
     def _on_wave(self, firings: list[TimerFiring]) -> None:
         """Group callback: one stream wave of closed sessions, one batched apply.
@@ -236,7 +246,14 @@ class SessionStreamMixin:
         coalescing window to close.
         """
         self._meter_update_delays([float(self.stream.clock - firing.fire_at) for firing in firings])
+        traced = self.tracer.enabled
+        if traced:
+            self.tracer.begin_wave(
+                [(*firing.payload, firing.fire_at) for firing in firings], self.stream.clock
+            )
         self.apply_wave([self._session_update(*firing.payload, firing.events) for firing in firings])
+        if traced:
+            self.tracer.end_wave()
 
 
 class BatchedHiddenStateBackend(SessionStreamMixin):
@@ -290,6 +307,7 @@ class BatchedHiddenStateBackend(SessionStreamMixin):
         state_layout: str = "entries",
         registry: MetricsRegistry | None = None,
         server=None,
+        tracer=None,
     ) -> None:
         if state_layout not in ("entries", "arena"):
             raise ValueError(
@@ -317,7 +335,9 @@ class BatchedHiddenStateBackend(SessionStreamMixin):
                     quantized=quantize,
                 )
             )
-        self._init_session_delivery(stream, coalesce_updates, registry=registry, server=server)
+        self._init_session_delivery(
+            stream, coalesce_updates, registry=registry, server=server, tracer=tracer
+        )
         self.predictions_served = 0
         self.updates_applied = 0
         self._init_backend_counters()
@@ -533,6 +553,7 @@ class BatchedAggregationBackend(SessionStreamMixin):
         coalesce_updates: bool = True,
         registry: MetricsRegistry | None = None,
         server=None,
+        tracer=None,
     ) -> None:
         if stream is not None and session_length is None:
             raise ValueError("stream-delivered session updates need a session_length")
@@ -543,7 +564,9 @@ class BatchedAggregationBackend(SessionStreamMixin):
         self.history_window = history_window
         self.session_length = session_length
         self.extra_lag = extra_lag
-        self._init_session_delivery(stream, coalesce_updates, registry=registry, server=server)
+        self._init_session_delivery(
+            stream, coalesce_updates, registry=registry, server=server, tracer=tracer
+        )
         self.predictions_served = 0
         self.updates_applied = 0
         self._init_backend_counters()
@@ -701,6 +724,7 @@ class MicroBatchQueue:
         registry: MetricsRegistry | None = None,
         server=None,
         admission: AdmissionController | None = None,
+        tracer=None,
     ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
@@ -711,6 +735,7 @@ class MicroBatchQueue:
         self._metered = self.metrics.enabled
         self.server = server
         self.admission = admission
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._barrier_handle: int | None = None
         if stream is not None:
             # Whoever advances the clock — this queue or the stream driven
@@ -746,12 +771,15 @@ class MicroBatchQueue:
         if not self._queue:
             return
         batch, self._queue = self._queue, []
-        if self.server is not None or self._metered:
+        traced = self.tracer.enabled
+        if self.server is not None or self._metered or traced:
             # The batch is scored "now": the latest of its request stamps
             # and the stream clock.  With a server model attached,
             # completion runs past that by the service time plus any
             # standing backlog — the per-request latency an overloaded
-            # pipeline accumulates.
+            # pipeline accumulates.  The tracer only *reads* these values:
+            # when it alone triggers this branch there is no server, so
+            # computing them is pure.
             reference = float(max(request.timestamp for request in batch))
             if self.stream is not None and self.stream.clock > reference:
                 reference = float(self.stream.clock)
@@ -760,7 +788,11 @@ class MicroBatchQueue:
                 self._m_latency.observe_many(
                     completion - request.timestamp for request in batch
                 )
+            if traced:
+                self.tracer.begin_predict(batch, reference, completion)
         predictions = self.backend.predict_batch(batch)
+        if traced:
+            self.tracer.end_predict(batch, predictions)
         self.batches_flushed += 1
         self._requests_flushed += len(batch)
         self._m_batch_size.observe(len(batch))
@@ -817,7 +849,17 @@ class MicroBatchQueue:
                 delivered += self.flush()
                 admitted = self.admission.readmit(timestamp, self)
             if not admitted:
-                if self.admission.mode == "defer":
+                decision = "defer" if self.admission.mode == "defer" else "shed"
+                if self.tracer.enabled:
+                    # The violation list is a pure read of queue depth and
+                    # registry quantiles — recorded so the trace says *why*
+                    # the request was turned away.
+                    self.tracer.admission_event(
+                        decision, timestamp,
+                        user_id=user_id,
+                        reasons="; ".join(self.admission.violations(timestamp, self)),
+                    )
+                if decision == "defer":
                     self._deferred.append(request)
                     self.admission.record_deferred()
                 else:
@@ -828,6 +870,12 @@ class MicroBatchQueue:
 
     def _enqueue(self, request: ServingRequest) -> list[ServingPrediction]:
         """Append one admitted request; flush if the batch filled."""
+        if self.tracer.enabled:
+            # Root-span registration point: every admitted request passes
+            # through here exactly once (deferred ones on re-admission, with
+            # their original timestamp — the queue wait covers the parked
+            # time too).
+            self.tracer.request_enqueued(request)
         self._queue.append(request)
         self.requests_submitted += 1
         depth = len(self._queue)

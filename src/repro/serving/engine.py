@@ -56,6 +56,7 @@ from .router import ShardedKeyValueStore
 from .slo import AdmissionController, ServerModel, SloPolicy
 from .stream import StreamProcessor
 from .telemetry import NULL_REGISTRY, MetricsRegistry
+from .tracing import NULL_TRACER, Tracer
 
 __all__ = [
     "Backend",
@@ -204,6 +205,18 @@ class EngineConfig:
     (``min == initial == max == 1``) is bit-identical to the fixed
     ``ServerModel`` path in every observable (pinned by
     ``tests/test_autoscale.py``).
+
+    ``tracing`` (default off) attaches a
+    :class:`~repro.serving.tracing.Tracer`: deterministic per-request span
+    trees over the simulated clock, batch/wave lanes with per-shard KV
+    instants, and control-plane events for admission, autoscaling, ring
+    faults and rollout stages — exported as Chrome trace JSON.  One
+    optional field, ``sample_pct`` (default 100): the percentage of
+    requests whose trees are recorded, sampled by a stable request hash
+    exactly like canary cohorts, so the subset is reproducible.  Hooks are
+    pure observation: a traced engine is bit-identical (predictions,
+    stored state, every meter) to its untraced twin, pinned by
+    ``tests/test_tracing.py``.
     """
 
     backend: str = "hidden_state"
@@ -224,6 +237,7 @@ class EngineConfig:
     model: str | None = None
     rollout: dict[str, Any] | None = None
     autoscale: dict[str, Any] | None = None
+    tracing: dict[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKEND_KINDS:
@@ -462,6 +476,20 @@ class EngineConfig:
                         "the metrics plane: telemetry must stay on"
                     )
             object.__setattr__(self, "autoscale", block)
+        if self.tracing is not None:
+            block = dict(self.tracing)
+            unknown = set(block) - {"sample_pct"}
+            if unknown:
+                raise ValueError(f"unknown tracing fields: {sorted(unknown)}")
+            # Defaults fill here so a canonical config survives a JSON round
+            # trip intact, like the autoscale block above.
+            block.setdefault("sample_pct", 100)
+            pct = block["sample_pct"]
+            if isinstance(pct, bool) or not isinstance(pct, int):
+                raise ValueError("tracing.sample_pct must be an int")
+            if not 1 <= pct <= 100:
+                raise ValueError("tracing.sample_pct must be in 1..100 (percent of requests)")
+            object.__setattr__(self, "tracing", block)
         if self.backend == "hidden_state":
             if self.session_length is None:
                 raise ValueError("the hidden_state backend needs a session_length")
@@ -529,6 +557,7 @@ class ServingEngine:
         admission: AdmissionController | None = None,
         rollout: RolloutController | None = None,
         autoscaler: Autoscaler | None = None,
+        tracer: Tracer | None = None,
     ) -> None:
         self.config = config
         self.backend = backend
@@ -540,6 +569,7 @@ class ServingEngine:
         self.admission = admission
         self.rollout = rollout
         self.autoscaler = autoscaler
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -595,6 +625,7 @@ class ServingEngine:
         ``engine.autoscaler``.
         """
         registry: MetricsRegistry | None = MetricsRegistry() if config.telemetry else None
+        tracer = Tracer(config.tracing["sample_pct"]) if config.tracing is not None else NULL_TRACER
         if store is None:
             if config.n_shards is not None:
                 store = ShardedKeyValueStore(
@@ -620,6 +651,11 @@ class ServingEngine:
                     f"(n_shards={config.n_shards}, replication={config.replication}, "
                     f"store_name={config.store_name!r})"
                 )
+        if tracer.enabled:
+            # Both store kinds implement attach_tracer; the pool fans the
+            # tracer out to every shard (present and future), so batch KV
+            # operations record per-shard instants with no pool-level hooks.
+            store.attach_tracer(tracer)
         if config.deferred_updates:
             if stream is None:
                 stream = StreamProcessor(coalescing_window=config.coalescing_window)
@@ -647,10 +683,21 @@ class ServingEngine:
                         f"supplied store's pool of {len(store.shards)} shards"
                     )
                 shard_name = store.shards[shard_index].name
-                if action == "fail":
-                    callback = lambda key, events, _store=store, _name=shard_name: _store.fail_shard(_name)
-                else:
-                    callback = lambda key, events, _store=store, _name=shard_name: _store.recover_shard(_name)
+
+                def callback(
+                    key, events,
+                    _store=store, _name=shard_name, _action=action,
+                    _at=fire_at, _index=shard_index, _tracer=tracer,
+                ):
+                    if _action == "fail":
+                        _store.fail_shard(_name)
+                    else:
+                        _store.recover_shard(_name)
+                    if _tracer.enabled:
+                        _tracer.control_event(
+                            f"ring.{_action}", _at, shard=_name, shard_index=_index
+                        )
+
                 stream.set_control_timer(fire_at, f"ring:{action}:{shard_index}@{fire_at}", callback)
         if config.autoscale is not None:
             if server is not None:
@@ -692,6 +739,7 @@ class ServingEngine:
                 state_layout=config.state_layout,
                 registry=registry,
                 server=server,
+                tracer=tracer,
             )
         else:
             if featurizer is None or estimator is None or schema is None:
@@ -713,6 +761,7 @@ class ServingEngine:
                 coalesce_updates=config.coalesce_updates,
                 registry=registry,
                 server=server,
+                tracer=tracer,
             )
         autoscaler = None
         if config.autoscale is not None:
@@ -740,10 +789,13 @@ class ServingEngine:
                 until=block["until"],
                 interval=block["interval"],
                 registry=registry,
+                tracer=tracer,
             )
         admission = None
         if slo_policy is not None:
-            admission = AdmissionController(slo_policy, registry=registry, mode=admission_mode)
+            admission = AdmissionController(
+                slo_policy, registry=registry, mode=admission_mode, tracer=tracer
+            )
         rollout = None
         if config.rollout is not None:
             # Wrap the control backend: the queue scores through the
@@ -759,6 +811,7 @@ class ServingEngine:
                 stream=stream,
                 registry=registry,
                 admission=admission,
+                tracer=tracer,
             )
             backend = rollout.backend
         queue = MicroBatchQueue(
@@ -768,6 +821,7 @@ class ServingEngine:
             registry=registry,
             server=server,
             admission=admission,
+            tracer=tracer,
         )
         return cls(
             config,
@@ -780,6 +834,7 @@ class ServingEngine:
             admission=admission,
             rollout=rollout,
             autoscaler=autoscaler,
+            tracer=tracer,
         )
 
     # ------------------------------------------------------------------

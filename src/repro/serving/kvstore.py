@@ -18,6 +18,7 @@ import numpy as np
 
 from .arena import ArenaSpec, StateArena
 from .telemetry import NULL_REGISTRY, MetricsRegistry
+from .tracing import NULL_TRACER, Tracer
 
 __all__ = ["KVStats", "KeyValueStore"]
 
@@ -102,6 +103,18 @@ class KeyValueStore:
             for field_name in KV_COUNTER_FIELDS
         }
         self.metrics.register_sync(self._sync_metrics)
+        self.tracer: Tracer = NULL_TRACER
+
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Record metered operations as ``kv.*`` trace instants.
+
+        Hooks are observation only — they read the amounts the meters
+        already computed and never touch stored data, so a traced store
+        stays bit- and meter-identical to an untraced one.  Unmetered
+        paths (``peek``/``put_unmetered``, i.e. repair and migration
+        traffic) record nothing, mirroring the metering rules.
+        """
+        self.tracer = tracer
 
     def _sync_metrics(self) -> None:
         """Copy the live ``KVStats`` into the registry counters (sync hook)."""
@@ -154,14 +167,20 @@ class KeyValueStore:
         if value is not _MISSING:
             self.stats.hits += 1
             self.stats.bytes_read += self._sizes[key]
+            if self.tracer.enabled:
+                self.tracer.kv_op("get", self.name, 1, self._sizes[key])
             return self._materialize(value, key)
         self.stats.misses += 1
+        if self.tracer.enabled:
+            self.tracer.kv_op("get", self.name, 1, 0)
         return default
 
     def put(self, key: str, value: Any, size_bytes: int | None = None) -> None:
         size = size_bytes if size_bytes is not None else _estimate_size(value)
         self.stats.puts += 1
         self.stats.bytes_written += size
+        if self.tracer.enabled:
+            self.tracer.kv_op("put", self.name, 1, size)
         self._store(key, value, size)
 
     def delete(self, key: str) -> bool:
@@ -199,6 +218,8 @@ class KeyValueStore:
         stats.hits += hits
         stats.misses += len(keys) - hits
         stats.bytes_read += bytes_read
+        if self.tracer.enabled:
+            self.tracer.kv_op("get_many", self.name, len(keys), bytes_read)
         return values
 
     def put_many(self, items: Iterable[tuple[str, Any, int | None]]) -> None:
@@ -213,6 +234,8 @@ class KeyValueStore:
             self._store(key, value, size)
         self.stats.puts += count
         self.stats.bytes_written += bytes_written
+        if self.tracer.enabled:
+            self.tracer.kv_op("put_many", self.name, count, bytes_written)
 
     # ------------------------------------------------------------------
     # Vectorized state waves (requires an attached arena)
@@ -256,6 +279,8 @@ class KeyValueStore:
         stats.hits += hits
         stats.misses += n - hits
         stats.bytes_read += bytes_read
+        if self.tracer.enabled:
+            self.tracer.kv_op("gather_states", self.name, n, bytes_read)
         if arena_positions:
             positions = np.asarray(arena_positions, dtype=np.intp)
             rows = np.asarray(arena_rows, dtype=np.intp)
@@ -290,6 +315,8 @@ class KeyValueStore:
             sizes[key] = size
         self.stats.puts += len(keys)
         self.stats.bytes_written += len(keys) * size
+        if self.tracer.enabled:
+            self.tracer.kv_op("scatter_states", self.name, len(keys), len(keys) * size)
 
     def contains(self, key: str) -> bool:
         return key in self._data

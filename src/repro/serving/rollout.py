@@ -46,6 +46,7 @@ from typing import Any
 from .batching import BatchedHiddenStateBackend, ServingPrediction, ServingRequest, SessionUpdate
 from .registry import ModelVersion
 from .router import _stable_hash
+from .tracing import NULL_TRACER
 from .telemetry import (
     DIVERGENCE_BUCKETS,
     LATENCY_BUCKETS_SECONDS,
@@ -160,6 +161,7 @@ class RolloutController:
         stream,
         registry: MetricsRegistry | None,
         admission=None,
+        tracer=None,
     ) -> None:
         rollout = config.rollout
         self.candidate_version = candidate.version
@@ -168,6 +170,7 @@ class RolloutController:
         self.gates: dict[str, float] = dict(rollout["gates"])
         self.control = control
         self.admission = admission
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = registry if registry is not None else NULL_REGISTRY
 
         self.stage_pct = 0
@@ -291,6 +294,10 @@ class RolloutController:
         """
         if self.promoted or self.rolled_back:
             self.stage_history.append(f"skipped:{pct}@{fire_at}")
+            if self.tracer.enabled:
+                self.tracer.control_event(
+                    "rollout.skipped", fire_at, version=self.candidate_version, pct=pct
+                )
             return
         breaches = self._gate_breaches()
         if breaches:
@@ -299,10 +306,20 @@ class RolloutController:
             self.stage_pct = 0
             self._m_stage.set(0)
             self.stage_history.append(f"rollback@{fire_at}:{','.join(breaches)}")
+            if self.tracer.enabled:
+                self.tracer.control_event(
+                    "rollout.rollback", fire_at,
+                    version=self.candidate_version, pct=pct, breaches=",".join(breaches),
+                )
             return
         self.stage_pct = pct
         self._m_stage.set(pct)
         self.stage_history.append(f"stage:{pct}@{fire_at}")
+        if self.tracer.enabled:
+            self.tracer.control_event(
+                "rollout.promote" if pct >= 100 else "rollout.stage", fire_at,
+                version=self.candidate_version, pct=pct,
+            )
         if pct >= 100:
             # Hot swap: a pure serving-pointer flip.  No queue access — the
             # pending micro-batch is neither flushed nor dropped, so the

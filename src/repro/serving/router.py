@@ -48,6 +48,7 @@ import numpy as np
 from .cost import CostParameters, kv_traffic_cost
 from .kvstore import KV_COUNTER_FIELDS, KeyValueStore, KVStats
 from .telemetry import NULL_REGISTRY, MetricsRegistry
+from .tracing import NULL_TRACER
 
 __all__ = ["ConsistentHashRing", "ShardedKeyValueStore", "RING_COUNTER_FIELDS"]
 
@@ -256,10 +257,21 @@ class ShardedKeyValueStore:
             for field_name in RING_COUNTER_FIELDS
         }
         self.metrics.register_sync(self._sync_ring_metrics)
+        self.tracer = NULL_TRACER
 
     def _sync_ring_metrics(self) -> None:
         for field_name, counter in self._ring_counters.items():
             counter.value = getattr(self, field_name)
+
+    def attach_tracer(self, tracer) -> None:
+        """Fan the tracer out to every shard (and, via :meth:`add_shard`,
+        to shards added later).  The pool itself records nothing — its
+        batch operations delegate per shard, and each shard's own hooks
+        stamp the ``shard=`` attribute, so per-shard attribution falls out
+        with no double counting."""
+        self.tracer = tracer
+        for shard in self.shards:
+            shard.attach_tracer(tracer)
 
     # ------------------------------------------------------------------
     # Routing
@@ -655,6 +667,8 @@ class ShardedKeyValueStore:
         shard = KeyValueStore(name, registry=self._registry)
         if self._arena_spec is not None:
             shard.attach_state_arena(self._arena_spec)
+        if self.tracer.enabled:
+            shard.attach_tracer(self.tracer)
         self._next_shard_id += 1
         self.shards.append(shard)
         self._by_name[name] = shard

@@ -35,6 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .telemetry import LATENCY_BUCKETS_SECONDS, NULL_REGISTRY, MetricsRegistry
+from .tracing import NULL_TRACER, Tracer
 
 __all__ = ["SloPolicy", "ServerModel", "AdmissionController", "ADMISSION_MODES"]
 
@@ -148,11 +149,14 @@ class AdmissionController:
         *,
         registry: MetricsRegistry | None = None,
         mode: str = "shed",
+        tracer: Tracer | None = None,
     ) -> None:
         if mode not in ADMISSION_MODES:
             raise ValueError(f"unknown admission mode {mode!r}; expected one of {ADMISSION_MODES}")
         self.policy = policy
         self.mode = mode
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._last_violated = False
         self.metrics = registry if registry is not None else NULL_REGISTRY
         self._latency = self.metrics.histogram("serving.update_latency_seconds", LATENCY_BUCKETS_SECONDS)
         self._delay = self.metrics.histogram("serving.update_delay_seconds", LATENCY_BUCKETS_SECONDS)
@@ -193,6 +197,14 @@ class AdmissionController:
     def _healthy(self, timestamp: float, queue) -> bool:
         violated = bool(self.violations(timestamp, queue))
         self._m_violation.set(1 if violated else 0)
+        if self.tracer.enabled and violated is not self._last_violated:
+            # Health *transitions* only — per-decision instants would swamp
+            # the control lane under sustained overload; the queue records
+            # the individual shed/defer outcomes itself.
+            self._last_violated = violated
+            self.tracer.admission_event(
+                "unhealthy" if violated else "healthy", timestamp, mode=self.mode
+            )
         return not violated
 
     def admit(self, timestamp: float, queue) -> bool:

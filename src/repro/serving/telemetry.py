@@ -117,6 +117,15 @@ class Gauge:
         if value > self.max_value:
             self.max_value = value
 
+    def reset(self) -> None:
+        """Zero the level *and* the high-water mark — parity with
+        ``Counter.reset``/``Histogram.reset``.  Same ownership rule: only
+        the component that drives the gauge may call this, and a paired
+        sync hook will overwrite ``value`` (not ``max``) on the next
+        snapshot."""
+        self.value = 0
+        self.max_value = 0
+
     def snapshot(self) -> dict[str, Any]:
         return {"type": "gauge", "value": self.value, "max": self.max_value}
 

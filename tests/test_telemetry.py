@@ -206,6 +206,126 @@ class TestInstruments:
 
 
 # ----------------------------------------------------------------------
+# Reset parity: Counter/Gauge/Histogram all zero in place, and resets
+# compose predictably with lazy sync hooks.
+# ----------------------------------------------------------------------
+class TestResetParity:
+    def test_counter_reset_zeroes_in_place(self):
+        counter = Counter("c")
+        counter.inc(7)
+        counter.reset()
+        assert counter.value == 0
+        counter.inc(2)
+        assert counter.value == 2  # usable again, no latched residue
+
+    def test_gauge_reset_zeroes_level_and_high_water_mark(self):
+        gauge = Gauge("g")
+        gauge.set(9)
+        gauge.set(2)
+        gauge.reset()
+        assert gauge.value == 0 and gauge.max_value == 0
+        # The high-water mark restarts from scratch: a post-reset level
+        # below the old peak becomes the new peak.
+        gauge.set(3)
+        assert gauge.value == 3 and gauge.max_value == 3
+
+    def test_synced_counter_refills_from_the_legacy_meter_after_reset(self):
+        # A sync hook makes the legacy meter the source of truth, so a bare
+        # Counter.reset is undone by the next read — resetting only both
+        # sides together sticks (the KeyValueStore.reset_stats contract).
+        registry = MetricsRegistry()
+        legacy = {"gets": 11}
+        counter = registry.counter("kv.gets")
+        registry.register_sync(lambda: setattr(counter, "value", legacy["gets"]))
+        assert registry.snapshot()["kv.gets"]["value"] == 11
+        counter.reset()
+        assert registry.snapshot()["kv.gets"]["value"] == 11  # hook re-filled it
+        legacy["gets"] = 0
+        counter.reset()
+        assert registry.snapshot()["kv.gets"]["value"] == 0
+
+    def test_synced_gauge_keeps_its_own_high_water_mark_across_reset(self):
+        # Sync hooks drive a gauge through set(), which only ever raises the
+        # registry-side peak — so Gauge.reset starts a fresh peak epoch even
+        # while the hook keeps restoring the current level.
+        registry = MetricsRegistry()
+        legacy = {"depth": 6}
+        gauge = registry.gauge("queue.depth")
+        registry.register_sync(lambda: gauge.set(legacy["depth"]))
+        legacy["depth"] = 9
+        assert registry.snapshot()["queue.depth"]["max"] == 9
+        legacy["depth"] = 4
+        gauge.reset()
+        snapshot = registry.snapshot()["queue.depth"]
+        assert snapshot["value"] == 4 and snapshot["max"] == 4  # peak 9 forgotten
+
+    def test_store_reset_stats_survives_a_snapshot_after_reset(self):
+        # End-to-end over the real hook: reset, then *read* — the lazy sync
+        # must re-derive zeros from the reset legacy meter, not resurrect
+        # pre-reset totals.
+        registry = MetricsRegistry()
+        store = KeyValueStore("kv", registry=registry)
+        store.put("a", 1, size_bytes=8)
+        store.get("a")
+        assert registry.snapshot()["kv.kv.gets"]["value"] == 1
+        store.reset_stats()
+        snapshot = registry.snapshot()
+        assert snapshot["kv.kv.gets"]["value"] == 0
+        assert snapshot["kv.kv.puts"]["value"] == 0
+
+
+# ----------------------------------------------------------------------
+# snapshot(prefix=): filtering is by name prefix, after the sync pass
+# ----------------------------------------------------------------------
+class TestSnapshotPrefix:
+    def build_registry(self):
+        registry = MetricsRegistry()
+        registry.counter("kv.rnn/shard0.gets").inc(3)
+        registry.counter("kv.rnn/shard1.gets").inc(4)
+        registry.counter("queue.requests_submitted").inc(9)
+        registry.gauge("queue.depth").set(2)
+        registry.histogram("serving.update_latency_seconds").observe(1.5)
+        return registry
+
+    def test_prefix_filters_by_string_prefix(self):
+        registry = self.build_registry()
+        assert list(registry.snapshot(prefix="kv.")) == [
+            "kv.rnn/shard0.gets",
+            "kv.rnn/shard1.gets",
+        ]
+        assert list(registry.snapshot(prefix="queue.")) == [
+            "queue.depth",
+            "queue.requests_submitted",
+        ]
+        # A prefix is not a namespace match: "queue" (no dot) also catches
+        # nothing extra here, and an unknown prefix is simply empty.
+        assert registry.snapshot(prefix="nothing.") == {}
+
+    def test_empty_prefix_is_the_full_snapshot(self):
+        registry = self.build_registry()
+        full = registry.snapshot()
+        assert registry.snapshot(prefix="") == full
+        # The filtered views are restrictions of the same dump, not
+        # re-renders: union of a partition == the full snapshot.
+        merged = {}
+        for prefix in ("kv.", "queue.", "serving."):
+            merged.update(registry.snapshot(prefix=prefix))
+        assert merged == full
+
+    def test_prefix_snapshot_runs_sync_hooks(self):
+        registry = MetricsRegistry()
+        legacy = {"gets": 0}
+        counter = registry.counter("kv.gets")
+        registry.register_sync(lambda: setattr(counter, "value", legacy["gets"]))
+        legacy["gets"] = 5
+        # Even a snapshot whose filter excludes the synced instrument must
+        # run the hooks first — filtering happens on fresh values.
+        assert registry.snapshot(prefix="queue.") == {}
+        assert counter.value == 5
+        assert registry.snapshot(prefix="kv.")["kv.gets"]["value"] == 5
+
+
+# ----------------------------------------------------------------------
 # Exact-view rollups: registry vs legacy meters (the property suite)
 # ----------------------------------------------------------------------
 def random_kv_workload(rng, n_ops=300):

@@ -1,0 +1,440 @@
+"""Request-level tracing tests: span trees, critical paths, bit-identity.
+
+Two contracts anchor this suite:
+
+* **Pure observation** — tracing never feeds back: a facade-built pipeline
+  with ``tracing`` on is bit-identical to the same pipeline with tracing
+  off in every serving observable (predictions, stored state, KV/queue/
+  admission meters — the whole registry snapshot), at every batch size and
+  across plain / sharded / quantized / replicated / arena topologies.
+* **Accounting closure** — each request's critical path tiles its root
+  span exactly: the per-category latency breakdown sums to the root-span
+  duration, so the ``TraceAnalyzer`` columns can never silently drop (or
+  double-count) simulated time.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.data import ContextField, ContextSchema
+from repro.features.sequence import SequenceBuilder
+from repro.models.rnn import RNNNetworkConfig, RNNPrecomputeNetwork
+from repro.serving import (
+    NULL_TRACER,
+    EngineConfig,
+    ServerModel,
+    ServingEngine,
+    SloPolicy,
+    TraceAnalyzer,
+    Tracer,
+    validate_chrome_trace,
+)
+
+
+# ----------------------------------------------------------------------
+# Shared pipeline parts (same idiom as tests/test_telemetry.py)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def serving_parts():
+    schema = ContextSchema(
+        fields=(
+            ContextField("badge", "numeric"),
+            ContextField("surface", "categorical", cardinality=3),
+        )
+    )
+    builder = SequenceBuilder(schema)
+    config = RNNNetworkConfig(feature_dim=builder.feature_dim, hidden_size=12, mlp_hidden=8)
+    network = RNNPrecomputeNetwork(config, rng=np.random.default_rng(5)).eval()
+    return schema, builder, network
+
+
+def random_session_events(rng, n_events=150, n_users=10):
+    base = 1_600_000_000
+    raw = rng.integers(0, 4_000, size=n_events)
+    bursty = rng.random(n_events) < 0.6
+    raw[bursty] -= raw[bursty] % 300
+    return [
+        (
+            int(timestamp),
+            int(rng.integers(0, n_users)),
+            {"badge": float(rng.integers(0, 9)), "surface": float(rng.integers(0, 3))},
+            bool(rng.random() < 0.4),
+        )
+        for timestamp in np.sort(base + raw)
+    ]
+
+
+def build_engine(parts, *, tracing, batch_size=8, window=30, **config_overrides):
+    _, builder, network = parts
+    config_overrides.setdefault("n_shards", 3)
+    return ServingEngine.build(
+        EngineConfig(
+            backend="hidden_state",
+            max_batch_size=batch_size,
+            coalescing_window=window,
+            session_length=600,
+            store_name="rnn",
+            tracing=tracing,
+            **config_overrides,
+        ),
+        network=network,
+        builder=builder,
+    )
+
+
+#: The topology matrix the bit-identity property runs over — each entry is
+#: a partial EngineConfig; ``plain`` is the unsharded single store.
+VARIANTS = {
+    "plain": {"n_shards": None},
+    "sharded": {"n_shards": 3},
+    "quantized": {"n_shards": 3, "quantize": True},
+    "replicated": {"n_shards": 4, "replication": 3},
+    "arena": {"n_shards": 2, "state_layout": "arena"},
+}
+
+
+def assert_bit_identical(traced, plain):
+    """Every serving observable of the traced twin equals the untraced one."""
+    np.testing.assert_array_equal(
+        np.asarray([p.probability for p in traced["served"]]),
+        np.asarray([p.probability for p in plain["served"]]),
+    )
+    assert traced["stats"] == plain["stats"]
+    assert traced["metrics"] == plain["metrics"]
+    assert traced["states"].keys() == plain["states"].keys()
+    for key, record in plain["states"].items():
+        mirror = traced["states"][key]
+        assert mirror.keys() == record.keys()
+        for field in record:
+            np.testing.assert_array_equal(mirror[field], record[field])
+
+
+def replay_observables(engine, events):
+    served = engine.replay(events)
+    observed = {
+        "served": served,
+        "stats": engine.store.stats.snapshot(),
+        "metrics": engine.metrics.snapshot(),
+        "states": {key: engine.store.peek(key) for key in sorted(engine.store.keys())},
+    }
+    return observed
+
+
+# ----------------------------------------------------------------------
+# The headline invariant: tracing on is bit-invisible
+# ----------------------------------------------------------------------
+class TestTracingBitIdentity:
+    @pytest.mark.parametrize("batch_size", [1, 7, 64])
+    @pytest.mark.parametrize("variant", sorted(VARIANTS))
+    def test_tracing_is_bit_invisible_to_serving(self, serving_parts, variant, batch_size):
+        events = random_session_events(np.random.default_rng(9000 + batch_size))
+        traced_engine = build_engine(
+            serving_parts, tracing={}, batch_size=batch_size, **VARIANTS[variant]
+        )
+        plain_engine = build_engine(
+            serving_parts, tracing=None, batch_size=batch_size, **VARIANTS[variant]
+        )
+        traced = replay_observables(traced_engine, events)
+        plain = replay_observables(plain_engine, events)
+        assert_bit_identical(traced, plain)
+        # The traced twin actually traced (one root per request), the plain
+        # twin carries the inert shared singleton.
+        assert len(traced_engine.tracer.roots()) == len(events)
+        assert plain_engine.tracer is NULL_TRACER
+        traced_engine.close()
+        plain_engine.close()
+
+    def test_tracing_is_bit_invisible_under_admission_control(self, serving_parts):
+        events = random_session_events(np.random.default_rng(9100))
+
+        def build(tracing):
+            _, builder, network = serving_parts
+            return ServingEngine.build(
+                EngineConfig(
+                    backend="hidden_state",
+                    max_batch_size=8,
+                    n_shards=3,
+                    session_length=600,
+                    store_name="rnn",
+                    tracing=tracing,
+                ),
+                network=network,
+                builder=builder,
+                server=ServerModel(0.5),
+                slo_policy=SloPolicy(max_queue_depth=4),
+                admission_mode="shed",
+            )
+
+        traced_engine, plain_engine = build({}), build(None)
+        traced = replay_observables(traced_engine, events)
+        plain = replay_observables(plain_engine, events)
+        assert_bit_identical(traced, plain)
+        assert traced_engine.admission.requests_shed == plain_engine.admission.requests_shed
+        # Shed requests never enter the queue, so they never get a root span
+        # — but each shed decision leaves an admission.shed control instant.
+        shed = [
+            span
+            for span in traced_engine.tracer.spans()
+            if span.name == "admission.shed"
+        ]
+        assert traced_engine.admission.requests_shed > 0
+        assert len(shed) == traced_engine.admission.requests_shed
+        assert all(span.cat == "control" and span.attrs["reasons"] for span in shed)
+        assert len(traced_engine.tracer.roots()) == len(traced["served"])
+        traced_engine.close()
+        plain_engine.close()
+
+    def test_failure_schedule_is_traced_and_bit_invisible(self, serving_parts):
+        events = random_session_events(np.random.default_rng(9200))
+        timestamps = [event[0] for event in events]
+        schedule = [
+            (timestamps[len(events) // 3], "fail", 1),
+            (timestamps[2 * len(events) // 3], "recover", 1),
+        ]
+        overrides = {"n_shards": 3, "replication": 2, "failure_schedule": schedule}
+        traced_engine = build_engine(serving_parts, tracing={}, **overrides)
+        plain_engine = build_engine(serving_parts, tracing=None, **overrides)
+        traced = replay_observables(traced_engine, events)
+        plain = replay_observables(plain_engine, events)
+        assert_bit_identical(traced, plain)
+        ring_events = [
+            span for span in traced_engine.tracer.spans() if span.name.startswith("ring.")
+        ]
+        assert [span.name for span in ring_events] == ["ring.fail", "ring.recover"]
+        assert all(span.cat == "control" and span.attrs["shard_index"] == 1 for span in ring_events)
+        traced_engine.close()
+        plain_engine.close()
+
+
+# ----------------------------------------------------------------------
+# Span-tree structure and the KV attribution
+# ----------------------------------------------------------------------
+class TestSpanTrees:
+    def test_every_request_gets_the_full_child_set(self, serving_parts):
+        events = random_session_events(np.random.default_rng(9300))
+        engine = build_engine(serving_parts, tracing={})
+        engine.replay(events)
+        analyzer = TraceAnalyzer(engine.tracer.spans())
+        assert len(analyzer.roots) == len(events)
+        for root in analyzer.roots:
+            names = sorted(child.name for child in analyzer.children(root))
+            assert names == [
+                "predict",
+                "queue.wait",
+                "session.window",
+                "update.apply",
+                "update.wave_wait",
+            ]
+            # Children stay inside the root interval, and the root closes at
+            # its latest child.
+            children = analyzer.children(root)
+            assert all(root.start <= child.start <= child.end <= root.end for child in children)
+            assert root.end == max(child.end for child in children)
+        engine.close()
+
+    def test_predict_spans_carry_kv_attribution(self, serving_parts):
+        events = random_session_events(np.random.default_rng(9400))
+        engine = build_engine(serving_parts, tracing={})
+        served = engine.replay(events)
+        analyzer = TraceAnalyzer(engine.tracer.spans())
+        predicts = [
+            child
+            for root in analyzer.roots
+            for child in analyzer.children(root)
+            if child.name == "predict"
+        ]
+        # Per-request KV attribution sums to the store's serve-path meters
+        # exactly — same numbers the predictions themselves report.
+        assert sum(span.attrs["kv_lookups"] for span in predicts) == sum(
+            prediction.kv_lookups for prediction in served
+        )
+        assert sum(span.attrs["kv_bytes"] for span in predicts) == sum(
+            prediction.bytes_fetched for prediction in served
+        )
+        engine.close()
+
+    def test_arena_layout_traces_gather_and_scatter(self, serving_parts):
+        events = random_session_events(np.random.default_rng(9500))
+        engine = build_engine(serving_parts, tracing={}, **VARIANTS["arena"])
+        engine.replay(events)
+        names = {span.name for span in engine.tracer.spans()}
+        assert "kv.gather_states" in names and "kv.scatter_states" in names
+        gathers = [span for span in engine.tracer.spans() if span.name == "kv.gather_states"]
+        assert all(span.kind == "instant" for span in gathers)
+        # Shard attribution: every gather names a real shard of the pool.
+        shard_names = {shard.name for shard in engine.store.shards}
+        assert {span.attrs["shard"] for span in gathers} <= shard_names
+        engine.close()
+
+    def test_batch_lane_spans_accumulate_wave_kv_traffic(self, serving_parts):
+        events = random_session_events(np.random.default_rng(9600))
+        engine = build_engine(serving_parts, tracing={}, batch_size=16)
+        engine.replay(events)
+        waves = [span for span in engine.tracer.spans() if span.name == "apply_wave"]
+        assert waves and all(span.attrs["kv_ops"] > 0 for span in waves)
+        assert sum(span.attrs["wave_size"] for span in waves) == engine.updates_applied
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Critical paths: the breakdown tiles the root span exactly
+# ----------------------------------------------------------------------
+class TestCriticalPath:
+    def test_critical_path_tiles_the_root_interval(self, serving_parts):
+        for trial in range(3):
+            events = random_session_events(np.random.default_rng(9700 + trial))
+            engine = build_engine(serving_parts, tracing={}, batch_size=(1, 7, 64)[trial])
+            engine.replay(events)
+            analyzer = TraceAnalyzer(engine.tracer.spans())
+            assert analyzer.roots
+            for root in analyzer.roots:
+                path = analyzer.critical_path(root)
+                # Contiguous tiling of [root.start, root.end] ...
+                assert path[0][1] == root.start and path[-1][2] == root.end
+                for (_, _, high), (_, low, _) in zip(path, path[1:]):
+                    assert high == low
+                # ... so the segment durations sum to the root duration.
+                total = sum(high - low for _, low, high in path)
+                assert math.isclose(total, root.duration, rel_tol=0.0, abs_tol=1e-6)
+            engine.close()
+
+    def test_breakdown_columns_sum_to_the_duration(self, serving_parts):
+        events = random_session_events(np.random.default_rng(9800))
+        engine = build_engine(serving_parts, tracing={})
+        engine.replay(events)
+        analyzer = TraceAnalyzer(engine.tracer.spans())
+        for row in analyzer.table():
+            parts = (
+                row["queue_s"]
+                + row["compute_s"]
+                + row["session_window_s"]
+                + row["update_defer_s"]
+                + row["other_s"]
+            )
+            assert math.isclose(parts, row["duration_s"], rel_tol=0.0, abs_tol=1e-6)
+        slowest = analyzer.slowest()
+        assert analyzer.breakdown(slowest)["duration_s"] == max(
+            row["duration_s"] for row in analyzer.table()
+        )
+        summary = analyzer.summary()
+        assert summary["trace_requests"] == len(analyzer.roots)
+        assert set(summary) == {
+            "trace_requests",
+            "trace_mean_duration_s",
+            "trace_queue_s",
+            "trace_compute_s",
+            "trace_session_window_s",
+            "trace_update_defer_s",
+            "trace_other_s",
+            "trace_kv_bytes",
+        }
+        engine.close()
+
+
+# ----------------------------------------------------------------------
+# Sampling: stable request-hash cohorts, like the canary router
+# ----------------------------------------------------------------------
+class TestSampling:
+    def test_sampling_is_deterministic_and_a_subset(self, serving_parts):
+        events = random_session_events(np.random.default_rng(9900))
+
+        def trace_roots(sample_pct):
+            engine = build_engine(serving_parts, tracing={"sample_pct": sample_pct})
+            engine.replay(events)
+            roots = {(root.attrs["user_id"], root.start) for root in engine.tracer.roots()}
+            engine.close()
+            return roots
+
+        full = trace_roots(100)
+        sampled = trace_roots(35)
+        assert full == {(user_id, float(timestamp)) for timestamp, user_id, _, _ in events}
+        assert sampled < full
+        assert sampled  # 35% of 150 requests cannot round to zero
+        # Replaying the identical workload samples the identical cohort.
+        assert trace_roots(35) == sampled
+
+    def test_sampled_tracing_is_still_bit_invisible(self, serving_parts):
+        events = random_session_events(np.random.default_rng(10000))
+        traced_engine = build_engine(serving_parts, tracing={"sample_pct": 35})
+        plain_engine = build_engine(serving_parts, tracing=None)
+        traced = replay_observables(traced_engine, events)
+        plain = replay_observables(plain_engine, events)
+        assert_bit_identical(traced, plain)
+        traced_engine.close()
+        plain_engine.close()
+
+
+# ----------------------------------------------------------------------
+# Chrome-trace export
+# ----------------------------------------------------------------------
+class TestChromeExport:
+    def test_chrome_trace_validates_and_round_trips(self, serving_parts):
+        events = random_session_events(np.random.default_rng(10100))
+        engine = build_engine(serving_parts, tracing={})
+        engine.replay(events)
+        trace = engine.tracer.chrome_trace()
+        validate_chrome_trace(trace)
+        assert json.loads(json.dumps(trace)) == trace
+        assert trace["metadata"]["spans"] == len(engine.tracer.spans())
+        assert trace["metadata"]["clock"] == "simulated-seconds"
+        # Timestamps are microseconds relative to the earliest span.
+        timed = [event for event in trace["traceEvents"] if event["ph"] != "M"]
+        assert min(event["ts"] for event in timed) == 0.0
+        # Request trees land on per-request thread lanes; the control plane
+        # stays on lane 0 and the batch lane on 1.
+        lanes = {event["tid"] for event in timed}
+        assert 1 in lanes and len(lanes) > 2
+        engine.close()
+
+    def test_validate_chrome_trace_rejects_malformed_payloads(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": "nope"})
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": [{"name": "x", "ph": "X", "pid": 1, "ts": 0}]})
+        with pytest.raises(ValueError):
+            validate_chrome_trace(
+                {"traceEvents": [{"name": "x", "ph": "Z", "pid": 1, "ts": 0, "dur": 1}]}
+            )
+
+
+# ----------------------------------------------------------------------
+# Config plumbing and the inert tracer
+# ----------------------------------------------------------------------
+class TestConfigAndNullTracer:
+    def test_tracing_block_fills_the_default_sample_pct(self):
+        config = EngineConfig(backend="hidden_state", session_length=600, tracing={})
+        assert config.tracing == {"sample_pct": 100}
+        assert EngineConfig(backend="hidden_state", session_length=600).tracing is None
+
+    @pytest.mark.parametrize(
+        "block",
+        [
+            {"sample_rate": 50},
+            {"sample_pct": 0},
+            {"sample_pct": 101},
+            {"sample_pct": True},
+            {"sample_pct": "50"},
+        ],
+    )
+    def test_tracing_block_rejects_bad_shapes(self, block):
+        with pytest.raises(ValueError):
+            EngineConfig(backend="hidden_state", session_length=600, tracing=block)
+
+    def test_tracer_rejects_bad_sample_pct(self):
+        with pytest.raises(ValueError):
+            Tracer(0)
+        with pytest.raises(TypeError):
+            Tracer(sample_pct=True)
+
+    def test_null_tracer_is_inert(self):
+        NULL_TRACER.control_event("autoscale.tick", 0.0, replicas=1)
+        NULL_TRACER.admission_event("shed", 0.0, user_id=3)
+        NULL_TRACER.kv_op("get", "kv", 1, 8)
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.spans() == []
+        assert NULL_TRACER.roots() == []
